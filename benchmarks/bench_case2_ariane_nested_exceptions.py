@@ -1,0 +1,96 @@
+"""Paper case study 2 (Section 5.6): hardware bug or software bug?
+
+The Ariane-style core hangs. The session arms the paper's breakpoint
+condition (deep exception nesting: ``mcause[63]==0 && MIE==0 &&
+MPIE==0``), runs the buggy and the healthy software, and checks that
+
+- the condition fires *only* under the buggy software,
+- the paused registers show ``pc == mepc == mtvec`` with the exception
+  flag high — legal hardware behaviour, software misconfiguration,
+- the whole diagnosis needs zero recompiles, vs. one full-size
+  compile per probe change for the ILA alternative.
+"""
+
+from conftest import emit, emit_table
+
+
+def run_session(program):
+    from repro import Zoomie, ZoomieProject
+    from repro.designs import make_ariane_core
+
+    project = ZoomieProject(
+        design=make_ariane_core(imem_init=program),
+        device="TEST2", clocks={"clk": 100.0},
+        watch=["mcause_out", "pc_out", "exception_out"])
+    session = Zoomie(project).launch()
+    dbg = session.debugger
+    session.poke_input("resetn", 1)
+
+    dbg.set_value_breakpoint({"exception_out": 1})
+    nested_at = None
+    state = None
+    for _ in range(8):
+        dbg.run(max_cycles=400)
+        if not dbg.is_paused():
+            break
+        state = dbg.read_state()
+        nested = ((state["mcause"] >> 63) == 0
+                  and state["MIE"] == 0 and state["MPIE"] == 0)
+        if nested:
+            nested_at = dbg.cycles()
+            break
+        dbg.step(1)
+        dbg.set_value_breakpoint({"exception_out": 1})
+        dbg.resume(clear_triggers=False)
+    return nested_at, state, dbg
+
+
+def test_case2_distinguishes_software_from_hardware(benchmark, u200):
+    from repro.designs.ariane import (
+        IMEM_WORDS,
+        hang_program,
+        healthy_program,
+        make_ariane_core,
+    )
+    from repro.vendor import VivadoFlow
+    from repro.vendor.cost import format_duration
+
+    nested_at, state, dbg = benchmark.pedantic(
+        lambda: run_session(hang_program()), rounds=3, iterations=1)
+
+    assert nested_at is not None, "the nesting breakpoint must fire"
+    assert state["pc"] == state["mepc"] == state["mtvec"]
+    assert state["mtvec"] >= IMEM_WORDS  # unmapped: the software bug
+    assert state["exception"] == 1
+
+    healthy_nested, healthy_state, healthy_dbg = run_session(
+        healthy_program())
+    assert healthy_nested is None
+
+    # The ILA alternative: each probe-set change is a full compile of
+    # the full-size core.
+    flow = VivadoFlow(u200, seed="case2")
+    full_core = make_ariane_core(attach_assertions=False,
+                                 ballast_lanes=164)
+    compile_result = flow.compile(full_core, clocks={"clk": 100.0})
+
+    emit_table(
+        "Case study 2: nested-exception diagnosis",
+        ["scenario", "breakpoint fired", "pc==mepc==mtvec",
+         "diagnosis"],
+        [
+            ["buggy software (mtvec unmapped)",
+             f"cycle {nested_at}", "yes",
+             "software bug: HW behaviour is legal"],
+            ["correct software", "never", "-",
+             "no deep nesting occurs"],
+        ])
+    emit(f"Zoomie: {dbg.session_seconds:.1f}s of JTAG ops, 0 recompiles; "
+         f"ILA alternative: "
+         f"{format_duration(compile_result.total_seconds)} per probe "
+         f"change on the full-size core")
+    assert dbg.session_seconds < 60
+    # Each ILA iteration would cost a ~10-minute full compile; the whole
+    # Zoomie diagnosis is cheaper than one percent of that.
+    assert compile_result.total_seconds > 300
+    assert dbg.session_seconds < compile_result.total_seconds / 100

@@ -1,0 +1,152 @@
+"""Paper Figure 3: the protocol violation of naive pausing.
+
+Gating a producer's clock while its ``valid`` is held high makes the
+free-running consumer see phantom handshakes. The benchmark counts
+duplicated transactions across randomized pause patterns for a direct
+connection vs. the pause buffer: the direct design corrupts virtually
+every paused run, the buffered one never does.
+"""
+
+import random
+
+from conftest import emit, emit_table
+
+
+def make_producer():
+    from repro.interfaces import add_decoupled_source
+    from repro.rtl import ModuleBuilder, mux
+
+    b = ModuleBuilder("producer")
+    valid, ready, data = add_decoupled_source(b, "out", 8)
+    seq = b.reg("seq", 8)
+    b.next(seq, mux(b.sig("out_ready"), seq + 1, seq))
+    b.assign(valid, b.const(1, 1))
+    b.assign(data, seq)
+    return b.build()
+
+
+def build_direct_top():
+    from repro.rtl import ModuleBuilder, elaborate
+    from repro.rtl.flatten import set_clock_map
+
+    b = ModuleBuilder("direct_top")
+    ready = b.input("cons_ready", 1)
+    refs = b.instantiate(make_producer(), "prod",
+                         inputs={"out_ready": ready})
+    b.output_expr("valid", refs["out_valid"])
+    b.output_expr("data", refs["out_data"])
+    top = b.build()
+    set_clock_map(top.instances["prod"], {"clk": "mut_clk"})
+    return elaborate(top)
+
+
+def build_buffered_top():
+    from repro.interfaces import make_pause_buffer
+    from repro.rtl import ModuleBuilder, elaborate
+    from repro.rtl.flatten import set_clock_map
+
+    b = ModuleBuilder("buffered_top")
+    ready = b.input("cons_ready", 1)
+    live = b.input("prod_live", 1)
+    buf_refs = b.instantiate(make_pause_buffer("pb", 8), "pb", inputs={
+        "enq_valid": b.wire("prod_valid", 1),
+        "enq_data": b.wire("prod_data", 8),
+        "deq_ready": ready,
+        "enq_live": live,
+        "deq_live": b.const(1, 1),
+    })
+    b.instantiate(make_producer(), "prod",
+                  inputs={"out_ready": buf_refs["enq_ready"]},
+                  outputs={"out_valid": "prod_valid",
+                           "out_data": "prod_data"})
+    b.output_expr("valid", buf_refs["deq_valid"])
+    b.output_expr("data", buf_refs["deq_data"])
+    top = b.build()
+    set_clock_map(top.instances["prod"], {"clk": "mut_clk"})
+    return elaborate(top)
+
+
+def run_pattern(buffered: bool, pauses: list[tuple[int, int]],
+                total_cycles: int = 120):
+    from repro.interfaces import DecoupledMonitor
+    from repro.rtl import Simulator
+
+    netlist = build_buffered_top() if buffered else build_direct_top()
+    sim = Simulator(netlist, clocks={"clk": 1000, "mut_clk": 1000})
+    monitor = DecoupledMonitor(
+        sim, valid="valid", ready="cons_ready", data="data",
+        domain="clk").attach()
+    sim.poke("cons_ready", 1)
+    if buffered:
+        sim.poke("prod_live", 1)
+    pause_set = {
+        cycle for start, length in pauses
+        for cycle in range(start, start + length)
+    }
+    for cycle in range(total_cycles):
+        gated = cycle in pause_set
+        sim.set_clock_gate("mut_clk", gated)
+        if buffered:
+            sim.poke("prod_live", 0 if gated else 1)
+        sim.step(1)
+    data = monitor.transaction_data
+    duplicates = len(data) - len(set(data))
+    gaps = sum(
+        1 for a, b in zip(data, data[1:]) if b != a + 1)
+    return duplicates, gaps, len(data)
+
+
+def random_pauses(rng: random.Random) -> list[tuple[int, int]]:
+    pauses = []
+    cursor = 5
+    while cursor < 100:
+        start = cursor + rng.randint(0, 10)
+        length = rng.randint(1, 6)
+        pauses.append((start, length))
+        cursor = start + length + 2
+    return pauses
+
+
+def test_fig3_duplication_rates(benchmark):
+    rng = random.Random(2024)
+    patterns = [random_pauses(rng) for _ in range(20)]
+
+    benchmark.pedantic(
+        lambda: run_pattern(True, patterns[0]), rounds=3, iterations=1)
+
+    direct_corrupted = 0
+    buffered_corrupted = 0
+    direct_dups = 0
+    for pattern in patterns:
+        dups, gaps, _count = run_pattern(False, pattern)
+        direct_dups += dups
+        if dups or gaps:
+            direct_corrupted += 1
+        dups, gaps, count = run_pattern(True, pattern)
+        assert count > 10
+        if dups or gaps:
+            buffered_corrupted += 1
+    emit_table(
+        "Figure 3: pausing across a decoupled interface "
+        "(20 random pause patterns)",
+        ["configuration", "corrupted runs", "total duplicate beats"],
+        [
+            ["direct connection (Fig. 3)", f"{direct_corrupted}/20",
+             str(direct_dups)],
+            ["Zoomie pause buffer", f"{buffered_corrupted}/20", "0"],
+        ])
+    assert direct_corrupted >= 18  # the hazard is near-certain
+    assert buffered_corrupted == 0
+
+
+def test_fig3_formal_guarantee(benchmark):
+    """The pause buffer's bounded proof (Section 3.1's 'formally
+    verified pause buffers')."""
+    from repro.formal import check_pause_buffer
+
+    states = benchmark.pedantic(
+        lambda: check_pause_buffer(bound=3), rounds=2, iterations=1)
+    emit(f"\npause buffer verified: {states} states at bound 3 "
+         f"(full 4-input alphabet); deeper per-scenario bounds run in "
+         f"the test suite")
+    assert states == sum(16 ** k for k in range(1, 4))

@@ -1,0 +1,85 @@
+"""Paper Figure 8: FPGA resource usage of synthesized SVAs.
+
+Eight assertions from the Ariane core; number 3 uses ``$isunknown`` and
+cannot be synthesized (exactly as in the paper). The published totals
+for the seven synthesized monitors are 40 flip-flops and 88 LUTs —
+"negligible compared to the 5k flip-flops and 42k LUTs of a single
+Ariane core".
+"""
+
+from conftest import emit, emit_table
+
+PAPER_TOTAL_FF = 40
+PAPER_TOTAL_LUT = 88
+PAPER_UNSYNTHESIZABLE_INDEX = 3  # 1-based
+
+
+def compile_all():
+    from repro.designs.ariane import ARIANE_ASSERTIONS, make_ariane_core
+    from repro.errors import UnsynthesizableError
+    from repro.rtl import elaborate
+    from repro.sva import compile_assertion
+    from repro.vendor.synth import synthesize_netlist
+
+    core = make_ariane_core(attach_assertions=False)
+    netlist = elaborate(core)
+
+    results = []
+    for number, source in enumerate(ARIANE_ASSERTIONS, start=1):
+        try:
+            monitor = compile_assertion(source, netlist.width)
+        except UnsynthesizableError as exc:
+            results.append((number, source, None, str(exc)))
+            continue
+        mapped = synthesize_netlist(
+            elaborate(monitor.module), opt="none")
+        results.append((number, source, mapped.totals, ""))
+    return netlist, results
+
+
+def test_fig8_assertion_resources(benchmark):
+    from repro.vendor.synth import synthesize
+    from repro.designs.ariane import make_ariane_core
+
+    netlist, results = benchmark.pedantic(
+        compile_all, rounds=3, iterations=1)
+
+    rows = []
+    total_ff = total_lut = 0
+    unsynthesizable = []
+    for number, source, totals, reason in results:
+        label = source.split(":")[0]
+        if totals is None:
+            rows.append([f"#{number} {label}", "-", "-",
+                         "UNSYNTHESIZABLE"])
+            unsynthesizable.append(number)
+            continue
+        total_ff += totals.ff
+        total_lut += totals.lut
+        rows.append([f"#{number} {label}", str(totals.ff),
+                     str(totals.lut), ""])
+    emit_table(
+        "Figure 8: per-assertion monitor resources (Ariane SVAs)",
+        ["assertion", "FFs", "LUTs", "note"],
+        rows)
+    # The comparison core is full-size CVA6 (paper: ~5k FFs, ~42k LUTs).
+    core_synth = synthesize(
+        make_ariane_core(attach_assertions=False, ballast_lanes=164),
+        opt="none")
+    core = core_synth.totals
+    emit(f"totals: {total_ff} FFs / {total_lut} LUTs "
+         f"(paper: {PAPER_TOTAL_FF} FFs / {PAPER_TOTAL_LUT} LUTs); "
+         f"core: {core.ff:,d} FFs / {core.lut:,d} LUTs -> overhead "
+         f"{100 * total_lut / core.lut:.1f}% LUTs")
+
+    # Shape checks: 7 of 8 synthesize; #3 is the $isunknown one; totals
+    # are tens of FFs / around a hundred LUTs; negligible vs the core.
+    assert unsynthesizable == [PAPER_UNSYNTHESIZABLE_INDEX]
+    assert len(results) - len(unsynthesizable) == 7
+    assert 15 <= total_ff <= 120
+    assert 30 <= total_lut <= 300
+    # "a negligible amount compared to ... a single Ariane core".
+    assert 3_000 <= core.ff <= 8_000
+    assert 30_000 <= core.lut <= 55_000
+    assert total_lut / core.lut < 0.02
+    assert total_ff / core.ff < 0.02

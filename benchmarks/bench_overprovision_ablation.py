@@ -1,0 +1,87 @@
+"""Paper Section 5.2, "Resource Usage Tradeoffs": the over-provision
+coefficient sweep.
+
+Published observations on the 5400-core SoC with Zoomie attached:
+
+- timing closes at the design's 50 MHz with the default c = 30% area
+  overhead, and *also* at 20% and 15%;
+- pushing the design to 100 MHz fails — but none of the top 10 timing
+  paths are in Zoomie-introduced code;
+- the reserved region shrinks with c (the measured ablation here), while
+  the incremental compile time barely moves.
+"""
+
+from conftest import emit, emit_table
+
+COEFFICIENTS = [0.15, 0.20, 0.30, 0.50]
+
+
+def test_overprovision_sweep(benchmark, u200, manycore_soc):
+    from repro.vti import PartitionSpec, VtiFlow
+
+    def initial_for(c):
+        flow = VtiFlow(u200, seed=f"ovp-{c}")
+        return flow, flow.compile_initial(
+            manycore_soc, {"clk": 50.0},
+            [PartitionSpec("tile0.core0", over_provision=c)])
+
+    benchmark.pedantic(lambda: initial_for(0.30), rounds=2, iterations=1)
+
+    rows = []
+    for c in COEFFICIENTS:
+        flow, initial = initial_for(c)
+        incr = flow.compile_incremental(initial, "tile0.core0")
+        region = initial.floorplan.regions["tile0.core0"]
+        capacity = region.capacity(u200)
+        requirement = initial.requirements["tile0.core0"]
+        fill = requirement.expected_fill(capacity)
+        met50 = initial.base.timing.met and incr.timing.met
+        rows.append([
+            f"{c * 100:.0f}%",
+            str(region),
+            f"{fill * 100:.0f}%",
+            "MET" if met50 else "FAILED",
+            f"{incr.total_seconds / 60:.1f} min",
+        ])
+        # The paper's claim: closure holds at 15/20/30%.
+        if c <= 0.30:
+            assert met50, f"expected 50 MHz closure at c={c}"
+    emit_table(
+        "Over-provision coefficient sweep (ER = resource * (1 + c))",
+        ["c", "region", "region fill", "50 MHz", "incremental time"],
+        rows)
+
+
+def test_100mhz_fails_but_not_in_zoomie_code(benchmark, u200,
+                                             manycore_soc):
+    from repro.debug.controller import make_debug_controller
+    from repro.rtl import elaborate
+    from repro.vendor import VivadoFlow, synthesize
+    from repro.vendor.synth import synthesize_netlist
+    from repro.vendor.timing import FF_OVERHEAD_NS, LUT_NS
+
+    at100 = VivadoFlow(u200, seed="ovp100").compile(
+        manycore_soc, clocks={"clk": 100.0})
+    assert not at100.timing.met
+
+    # None of the top 10 paths belong to Zoomie: compare the user
+    # design's ranked paths with the Debug Controller's own depth.
+    dc = make_debug_controller([("a", 32), ("b", 32)], assert_count=2)
+    dc_synth = benchmark(lambda: synthesize_netlist(elaborate(dc)))
+    dc_levels = dc_synth.per_module[dc.name].logic_levels
+    dc_local_ns = dc_levels * LUT_NS + FF_OVERHEAD_NS
+
+    rows = [[f"#{i + 1}", path.module, f"{path.delay_ns:.2f} ns"]
+            for i, path in enumerate(at100.timing.top_paths(10))]
+    rows.append(["-", "zoomie debug controller (local)",
+                 f"{dc_local_ns:.2f} ns"])
+    emit_table(
+        "100 MHz attempt: top paths are user logic, not Zoomie",
+        ["rank", "module", "delay"],
+        rows)
+    emit(f"50 MHz: MET; 100 MHz: FAILED (paper: same); Zoomie logic "
+         f"depth {dc_levels} levels")
+    worst_user = at100.timing.top_paths(1)[0].delay_ns
+    assert dc_local_ns < worst_user
+    assert all(not p.module.startswith("zoomie")
+               for p in at100.timing.top_paths(10))

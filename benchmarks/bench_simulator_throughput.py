@@ -1,0 +1,78 @@
+"""Real-machine measurement: the RTL simulator's throughput.
+
+Not a paper table — the substrate number everything executable rests
+on. Compares compiled (generated-code) vs interpreted (AST-walking)
+evaluation on the Cohort SoC, and reports cycles/second for the designs
+the case studies run. Case study 3's replay-cost argument uses the same
+measurement live.
+"""
+
+from conftest import emit_table
+
+
+def make_sim(compiled: bool):
+    from repro.designs import make_cohort_soc
+    from repro.rtl import Simulator, elaborate
+
+    sim = Simulator(elaborate(make_cohort_soc(with_bug=False)),
+                    compiled=compiled)
+    sim.poke("en", 1)
+    return sim
+
+
+def test_compiled_vs_interpreted_throughput(benchmark):
+    import time
+
+    sim = make_sim(compiled=True)
+    benchmark(lambda: sim.step(100))
+
+    rows = []
+    speeds = {}
+    for label, compiled in (("compiled", True), ("interpreted", False)):
+        s = make_sim(compiled)
+        s.step(10)  # warm up
+        start = time.perf_counter()
+        cycles = 3000
+        s.step(cycles)
+        elapsed = time.perf_counter() - start
+        speeds[label] = cycles / elapsed
+        rows.append([label, f"{speeds[label]:,.0f} cycles/s"])
+    rows.append(["speedup",
+                 f"{speeds['compiled'] / speeds['interpreted']:.1f}x"])
+    emit_table("RTL simulator throughput (Cohort SoC)",
+               ["mode", "rate"], rows)
+    assert speeds["compiled"] > speeds["interpreted"]
+
+
+def test_instrumentation_slowdown_is_bounded(benchmark):
+    """Zoomie's inserted logic must not cripple the emulation substrate."""
+    import time
+
+    from repro.debug import instrument_netlist
+    from repro.designs import make_cohort_soc
+    from repro.rtl import Simulator, elaborate
+
+    bare = Simulator(elaborate(make_cohort_soc(with_bug=False)))
+    bare.poke("en", 1)
+    instrumented_net = elaborate(make_cohort_soc(with_bug=False))
+    instrument_netlist(instrumented_net, watch=["issued"])
+    instrumented = Simulator(instrumented_net)
+    instrumented.poke("en", 1)
+
+    def rate(sim):
+        sim.step(10)
+        start = time.perf_counter()
+        sim.step(2000)
+        return 2000 / (time.perf_counter() - start)
+
+    bare_rate = rate(bare)
+    inst_rate = benchmark.pedantic(
+        lambda: rate(instrumented), rounds=3, iterations=1)
+    slowdown = bare_rate / inst_rate
+    emit_table(
+        "Simulation cost of the Zoomie insertion",
+        ["configuration", "rate"],
+        [["bare", f"{bare_rate:,.0f} cycles/s"],
+         ["instrumented", f"{inst_rate:,.0f} cycles/s"],
+         ["slowdown", f"{slowdown:.2f}x"]])
+    assert slowdown < 4.0

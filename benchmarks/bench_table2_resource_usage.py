@@ -1,0 +1,40 @@
+"""Paper Table 2: resource usage of the 5400-core SoC on an Alveo U200.
+
+Regenerates the utilization table and checks the measured percentages
+against the published ones.
+"""
+
+from conftest import emit_table
+
+#: Paper Table 2 (percent).
+PAPER = {"LUT": 95.32, "LUTRAM": 8.96, "FF": 53.42, "BRAM": 98.19}
+
+
+def test_table2_resource_usage(benchmark, u200, manycore_soc):
+    from repro.vendor import VivadoFlow, synthesize
+
+    # The benchmarked operation: technology-mapping the full SoC.
+    synth = benchmark(lambda: synthesize(manycore_soc))
+
+    result = VivadoFlow(u200).compile(manycore_soc, clocks={"clk": 50.0})
+    used = result.used_resources()
+    rows = []
+    for kind in ("LUT", "LUTRAM", "FF", "BRAM"):
+        measured = result.utilization[kind]
+        rows.append([
+            kind,
+            f"{used[kind]:,d}",
+            f"{measured:.2f}%",
+            f"{PAPER[kind]:.2f}%",
+            f"{measured - PAPER[kind]:+.2f}",
+        ])
+    emit_table(
+        "Table 2: 5400-core SoC on U200",
+        ["resource", "used", "measured", "paper", "delta(pp)"],
+        rows)
+
+    assert abs(result.utilization["LUT"] - PAPER["LUT"]) < 4
+    assert abs(result.utilization["LUTRAM"] - PAPER["LUTRAM"]) < 2
+    assert abs(result.utilization["FF"] - PAPER["FF"]) < 4
+    assert abs(result.utilization["BRAM"] - PAPER["BRAM"]) < 3
+    assert synth.instance_counts["serv_core"] == 5400

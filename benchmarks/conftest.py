@@ -1,0 +1,81 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints
+a paper-vs-measured comparison. Output goes through :func:`emit`, which
+bypasses pytest's capture so the tables are visible in a plain
+``pytest benchmarks/ --benchmark-only`` run, and is also appended to
+``benchmarks/_results.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+# Some benchmarks reuse experiment helpers from the test suite; make the
+# repository root importable regardless of how pytest was invoked.
+_ROOT = str(pathlib.Path(__file__).parent.parent)
+if _ROOT not in sys.path:
+    sys.path.insert(0, _ROOT)
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "_results.txt"
+
+
+def emit(text: str) -> None:
+    """Print benchmark findings, bypassing pytest capture."""
+    sys.__stdout__.write(text + "\n")
+    sys.__stdout__.flush()
+    with RESULTS_PATH.open("a") as stream:
+        stream.write(text + "\n")
+
+
+def emit_table(title: str, headers: list[str],
+               rows: list[list[str]]) -> None:
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+    lines = [f"\n== {title} =="]
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    emit("\n".join(lines))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    RESULTS_PATH.unlink(missing_ok=True)
+    yield
+
+
+@pytest.fixture(scope="session")
+def u200():
+    from repro.fpga import make_u200
+    return make_u200()
+
+
+@pytest.fixture(scope="session")
+def manycore_soc():
+    from repro.designs import make_manycore_soc
+    return make_manycore_soc(5400)
+
+
+@pytest.fixture(scope="session")
+def soc_compile(u200, manycore_soc):
+    """One shared monolithic compile of the 5400-core SoC."""
+    from repro.vendor import VivadoFlow
+    return VivadoFlow(u200).compile(manycore_soc, clocks={"clk": 50.0})
+
+
+@pytest.fixture(scope="session")
+def vti_initial(u200, manycore_soc):
+    """One shared VTI initial compile with a single-core partition."""
+    from repro.vti import PartitionSpec, VtiFlow
+    flow = VtiFlow(u200)
+    initial = flow.compile_initial(
+        manycore_soc, {"clk": 50.0}, [PartitionSpec("tile0.core0")])
+    return flow, initial

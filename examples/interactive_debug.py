@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""The gdb-like command-line debugger.
+
+Runs a scripted session against the buggy Cohort SoC by default; pass
+``--repl`` to drive it yourself:
+
+    python examples/interactive_debug.py --repl
+
+Commands: break/run/step/print/state/set/snapshot/restore/diff/... —
+type 'help' inside the repl.
+"""
+
+import sys
+
+from repro import Zoomie, ZoomieProject
+from repro.debug.cli import ZoomieCli
+from repro.designs import make_cohort_soc
+
+SCRIPT = [
+    "watchlist",
+    "break issued=2",
+    "run",
+    "print lsu.issued_count",
+    "print lsu.store_pending",
+    "state mmu",
+    "snapshot stuck",
+    "step 4",
+    "diff stuck",
+    "set lsu.store_pending 0",
+    "set mmu.responding 0",
+    "set mmu.busy 0",
+    "continue",
+    "run 50",
+    "pause",
+    "print datapath.results_count",
+    "info",
+]
+
+
+def main() -> None:
+    project = ZoomieProject(
+        design=make_cohort_soc(with_bug=True), device="TEST2",
+        clocks={"clk": 100.0}, watch=["issued", "completed", "results"])
+    session = Zoomie(project).launch()
+    session.poke_input("en", 1)
+    cli = ZoomieCli(session.debugger)
+
+    if "--repl" in sys.argv:
+        cli.repl()
+        return
+
+    for line in SCRIPT:
+        print(f"(zoomie) {line}")
+        output = cli.execute(line)
+        if output:
+            print(output)
+
+
+if __name__ == "__main__":
+    main()

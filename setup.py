@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+A ``setup.py`` (with no ``[build-system]`` table in pyproject.toml) keeps
+``pip install -e .`` working on offline machines that lack the ``wheel``
+package: pip falls back to the legacy ``setup.py develop`` path, which needs
+nothing beyond setuptools itself.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Zoomie: A Software-like Debugging Tool for "
+        "FPGAs' (ASPLOS 2024)"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "networkx>=3.0"],
+)

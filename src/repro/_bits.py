@@ -1,0 +1,148 @@
+"""Low-level bit manipulation helpers shared across the library.
+
+All hardware values in the reproduction are plain Python integers paired
+with an explicit bit width. These helpers keep the masking/sign handling
+in one place so the RTL evaluator, the bitstream codec, and the debugger
+all agree on the arithmetic.
+"""
+
+from __future__ import annotations
+
+from .errors import WidthError
+
+MAX_WIDTH = 4096
+
+
+def mask(width: int) -> int:
+    """Return the all-ones mask for ``width`` bits."""
+    if width <= 0 or width > MAX_WIDTH:
+        raise WidthError(f"width must be in 1..{MAX_WIDTH}, got {width}")
+    return (1 << width) - 1
+
+
+def truncate(value: int, width: int) -> int:
+    """Wrap ``value`` into the unsigned range of ``width`` bits."""
+    return value & mask(width)
+
+
+def to_signed(value: int, width: int) -> int:
+    """Reinterpret an unsigned ``width``-bit value as two's complement."""
+    value = truncate(value, width)
+    sign_bit = 1 << (width - 1)
+    return value - (1 << width) if value & sign_bit else value
+
+
+def from_signed(value: int, width: int) -> int:
+    """Encode a (possibly negative) integer as unsigned ``width`` bits."""
+    return truncate(value, width)
+
+
+def bit(value: int, index: int) -> int:
+    """Return bit ``index`` (LSB = 0) of ``value``."""
+    if index < 0:
+        raise WidthError(f"bit index must be non-negative, got {index}")
+    return (value >> index) & 1
+
+
+def bits(value: int, high: int, low: int) -> int:
+    """Return the inclusive slice ``value[high:low]`` (Verilog order)."""
+    if high < low:
+        raise WidthError(f"slice high ({high}) below low ({low})")
+    if low < 0:
+        raise WidthError(f"slice low must be non-negative, got {low}")
+    return (value >> low) & mask(high - low + 1)
+
+
+def set_bit(value: int, index: int, bit_value: int) -> int:
+    """Return ``value`` with bit ``index`` replaced by ``bit_value``."""
+    if bit_value not in (0, 1):
+        raise WidthError(f"bit value must be 0 or 1, got {bit_value}")
+    if bit_value:
+        return value | (1 << index)
+    return value & ~(1 << index)
+
+
+def set_bits(value: int, high: int, low: int, field: int) -> int:
+    """Return ``value`` with ``value[high:low]`` replaced by ``field``."""
+    width = high - low + 1
+    field = truncate(field, width)
+    cleared = value & ~(mask(width) << low)
+    return cleared | (field << low)
+
+
+def popcount(value: int) -> int:
+    """Count set bits of a non-negative integer."""
+    if value < 0:
+        raise WidthError("popcount requires a non-negative value")
+    return value.bit_count()
+
+
+def clog2(value: int) -> int:
+    """Ceiling log2; the width needed to count ``value`` distinct states.
+
+    ``clog2(1) == 0`` and ``clog2(0)`` is an error, matching the Verilog
+    ``$clog2`` convention used for address widths.
+    """
+    if value <= 0:
+        raise WidthError(f"clog2 requires a positive value, got {value}")
+    return (value - 1).bit_length()
+
+
+def width_for(value: int) -> int:
+    """Minimum width able to store unsigned ``value`` (at least 1)."""
+    if value < 0:
+        raise WidthError("width_for requires a non-negative value")
+    return max(1, value.bit_length())
+
+
+def replicate(value: int, width: int, times: int) -> int:
+    """Concatenate ``times`` copies of a ``width``-bit ``value``."""
+    if times <= 0:
+        raise WidthError(f"replication count must be positive, got {times}")
+    value = truncate(value, width)
+    out = 0
+    for _ in range(times):
+        out = (out << width) | value
+    return out
+
+
+def concat(*pairs: tuple[int, int]) -> tuple[int, int]:
+    """Concatenate ``(value, width)`` pairs, first pair most significant.
+
+    Returns the combined ``(value, width)`` pair, mirroring Verilog's
+    ``{a, b, c}`` ordering.
+    """
+    out = 0
+    total = 0
+    for value, width in pairs:
+        out = (out << width) | truncate(value, width)
+        total += width
+    if total == 0:
+        raise WidthError("cannot concatenate zero fields")
+    return out, total
+
+
+def reverse_bits(value: int, width: int) -> int:
+    """Reverse the bit order of a ``width``-bit value."""
+    value = truncate(value, width)
+    out = 0
+    for _ in range(width):
+        out = (out << 1) | (value & 1)
+        value >>= 1
+    return out
+
+
+def chunk_words(data: bytes, word_bytes: int = 4) -> list[int]:
+    """Split ``data`` into big-endian words (bitstreams are word streams)."""
+    if len(data) % word_bytes:
+        raise WidthError(
+            f"data length {len(data)} is not a multiple of {word_bytes}")
+    return [
+        int.from_bytes(data[i:i + word_bytes], "big")
+        for i in range(0, len(data), word_bytes)
+    ]
+
+
+def words_to_bytes(words: list[int], word_bytes: int = 4) -> bytes:
+    """Inverse of :func:`chunk_words`."""
+    return b"".join(w.to_bytes(word_bytes, "big") for w in words)

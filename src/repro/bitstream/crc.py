@@ -1,0 +1,34 @@
+"""Configuration CRC.
+
+Real UltraScale devices accumulate a CRC over ``(register, word)`` pairs
+and compare it on CRC-register writes, aborting configuration on mismatch.
+We model the same protocol with a standard CRC-32 so corrupt-bitstream
+tests exercise the verification path.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+
+def crc32_words(pairs: list[tuple[int, int]]) -> int:
+    """CRC over ``(register_address, data_word)`` pairs."""
+    crc = 0
+    for register, word in pairs:
+        payload = register.to_bytes(1, "big") + word.to_bytes(4, "big")
+        crc = zlib.crc32(payload, crc)
+    return crc & 0xFFFF_FFFF
+
+
+class CrcAccumulator:
+    """Streaming accumulator used by the microcontroller."""
+
+    def __init__(self):
+        self.value = 0
+
+    def update(self, register: int, word: int) -> None:
+        payload = register.to_bytes(1, "big") + word.to_bytes(4, "big")
+        self.value = zlib.crc32(payload, self.value) & 0xFFFF_FFFF
+
+    def reset(self) -> None:
+        self.value = 0

@@ -1,0 +1,77 @@
+"""Bitstream word constants and the configuration register map.
+
+The two magic words the paper's Section 4.4 hunts for repetitions of:
+
+- ``DUMMY = 0xFFFFFFFF``: padding that compensates for microcontroller
+  busy-wait time;
+- ``SYNC = 0xAA995566``: synchronizes the start of a command sequence.
+
+``BOUT`` is the undocumented register the paper discovers: an *empty*
+write to it, followed by padding, hops subsequent operations one SLR
+further along the configuration ring.
+"""
+
+from __future__ import annotations
+
+DUMMY = 0xFFFF_FFFF
+SYNC = 0xAA99_5566
+#: Bus width auto-detect pattern (precedes sync in real streams).
+BUS_WIDTH = 0x0000_00BB
+BUS_DETECT = 0x1122_0044
+
+#: Configuration register addresses (5-bit space).
+REGISTERS: dict[str, int] = {
+    "CRC": 0x00,
+    "FAR": 0x01,
+    "FDRI": 0x02,
+    "FDRO": 0x03,
+    "CMD": 0x04,
+    "CTL0": 0x05,
+    "MASK": 0x06,
+    "STAT": 0x07,
+    "LOUT": 0x08,
+    "COR0": 0x09,
+    "MFWR": 0x0A,
+    "CBC": 0x0B,
+    "IDCODE": 0x0C,
+    "AXSS": 0x0D,
+    "COR1": 0x0E,
+    "WBSTAR": 0x10,
+    "TIMER": 0x11,
+    "MAGIC0": 0x13,
+    "BOOTSTS": 0x16,
+    "CTL1": 0x18,
+    # The undocumented SLR-hop register (paper Section 4.4).
+    "BOUT": 0x1E,
+    # Global clock-gate control (paper Section 4.2: clock gating/mux
+    # cells are "controlled via writes to global registers through the
+    # configuration microcontroller"). Bit i gates clock domain i.
+    "CLK_GATE": 0x1F,
+}
+
+_BY_ADDRESS = {address: name for name, address in REGISTERS.items()}
+
+
+def register_name(address: int) -> str:
+    """Name of a register address (``REG_0x??`` for unknown ones)."""
+    return _BY_ADDRESS.get(address, f"REG_0x{address:02X}")
+
+
+#: CMD register command codes.
+CMD_VALUES: dict[str, int] = {
+    "NULL": 0x0,
+    "WCFG": 0x1,      # write configuration (enables FDRI -> frames)
+    "MFW": 0x2,       # multiple frame write
+    "LFRM": 0x3,      # last frame
+    "RCFG": 0x4,      # read configuration (enables FDRO reads)
+    "START": 0x5,     # begin startup sequence (clocks + GSR release)
+    "RCRC": 0x7,      # reset CRC
+    "AGHIGH": 0x8,
+    "SWITCH": 0x9,
+    "GRESTORE": 0xA,  # load FF values from capture frames
+    "SHUTDOWN": 0xB,
+    "GCAPTURE": 0xC,  # capture FF values into capture frames
+    "DESYNC": 0xD,    # drop sync; return to padding-skip state
+}
+
+CMD_NAMES = {value: name for name, value in CMD_VALUES.items()}

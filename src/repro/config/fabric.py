@@ -1,0 +1,327 @@
+"""The emulated FPGA card.
+
+:class:`FabricDevice` combines the device geometry, per-SLR configuration
+memory and microcontrollers, the JTAG ring, and — once a verified
+bitstream has been loaded — the functional model of the programmed design
+(an RTL simulator plus the logic-location map tying its registers to
+configuration frame bits).
+
+The split mirrors Figure 5's control/data planes: everything the paper
+does over JTAG (configure, pause, capture, read back, mutate, resume)
+flows through the microcontrollers and frames; the design itself executes
+in the data plane.
+
+Substitution note (see DESIGN.md): real fabric evaluates LUT equations
+from frame bits. Here the data plane executes the design's netlist
+directly, while the configuration plane still transports and verifies the
+full frame image — a bitstream with wrong or missing frames refuses to
+boot, capture/readback/restore move real state through real frame
+addresses, and every control behaviour the paper relies on is preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ConfigError
+from ..fpga.device import Device
+from ..fpga.frames import ConfigMemory, FrameSpace
+from ..rtl.simulator import Simulator
+from .database import DesignDatabase
+from .jtag import JtagRing
+from .microcontroller import Microcontroller
+
+
+class FabricDevice:
+    """One emulated FPGA card on the bench."""
+
+    def __init__(self, device: Device):
+        self.device = device
+        self.spaces = [FrameSpace(slr) for slr in device.slrs]
+        self.config = [ConfigMemory(space) for space in self.spaces]
+        self.mcs = [Microcontroller(self, index)
+                    for index in range(device.slr_count)]
+        self.jtag = JtagRing(self)
+        self.db: Optional[DesignDatabase] = None
+        self.sim: Optional[Simulator] = None
+        self.booted = False
+        self._gate_mask = 0
+        self._shutdown = False
+        self._booted_db: Optional[DesignDatabase] = None
+
+    # ------------------------------------------------------------------
+    # programming lifecycle
+    # ------------------------------------------------------------------
+
+    def expect(self, db: DesignDatabase) -> None:
+        """Announce the design whose bitstream is about to arrive.
+
+        The real card carries this information *in* the bitstream (the
+        frames are the design); our data plane runs the netlist instead,
+        so the database rides alongside while the configuration plane
+        still verifies the delivered frames against the expected image.
+        """
+        if db.device.name != self.device.name:
+            raise ConfigError(
+                f"design targets {db.device.name}, card is "
+                f"{self.device.name}")
+        self.db = db
+
+    def start(self, slr_index: int,
+              regions: Optional[set[int]]) -> None:
+        """CMD=START: verify and boot (primary), release GSR, run clocks."""
+        self._shutdown = False
+        if slr_index != self.device.primary_slr:
+            return  # secondaries join the primary-driven startup
+        rewritten = self._take_rewritten()
+        if not self.booted:
+            self._verify_and_boot()
+        elif self.db is not self._booted_db:
+            # Partial reconfiguration swapped (part of) the design: the
+            # new database arrived with the partial bitstream. Verify the
+            # updated image, migrate surviving state, and GSR-initialize
+            # exactly the flip-flops whose frames were rewritten.
+            self._verify_image()
+            self._migrate_design(rewritten)
+        else:
+            # Restart after SHUTDOWN: re-verify, GSR the masked regions.
+            self._verify_image()
+            self.apply_gsr(slr_index, regions)
+        self._apply_gates()
+
+    def _take_rewritten(self) -> set[tuple[int, int, int]]:
+        """(slr, column, region) triples rewritten since the last START."""
+        out: set[tuple[int, int, int]] = set()
+        for slr_index, memory in enumerate(self.config):
+            for address in memory.take_dirty():
+                out.add((slr_index, address.column, address.region))
+        return out
+
+    def shutdown(self, slr_index: int) -> None:
+        """CMD=SHUTDOWN: stop all design clocks for reconfiguration."""
+        self._shutdown = True
+        self._apply_gates()
+
+    def _verify_image(self) -> None:
+        assert self.db is not None
+        for slr_index in range(self.device.slr_count):
+            expected = self.db.frame_image.get(slr_index, {})
+            memory = self.config[slr_index]
+            for address, words in expected.items():
+                got = memory.read_frame(address)
+                if got != words:
+                    raise ConfigError(
+                        f"SLR{slr_index} frame {address}: configuration "
+                        f"mismatch (bitstream did not deliver the "
+                        f"expected image)")
+
+    def _verify_and_boot(self) -> None:
+        if self.db is None:
+            raise ConfigError("no design database expected on this card")
+        self._verify_image()
+        self.sim = Simulator(self.db.netlist, clocks=self.db.clocks)
+        self.booted = True
+        self._booted_db = self.db
+
+    def _migrate_design(self,
+                        rewritten: set[tuple[int, int, int]]) -> None:
+        """Swap the data plane for the updated design.
+
+        State handling mirrors real partial reconfiguration: flip-flops
+        whose configuration frames were *rewritten* come up at their
+        (new) initial values; everything else keeps running state.
+        """
+        assert self.db is not None and self.sim is not None
+        old_sim = self.sim
+        old_registers = set(old_sim.netlist.registers)
+        old_memories = set(old_sim.netlist.memories)
+        new_sim = Simulator(self.db.netlist, clocks=self.db.clocks)
+        reconfigured = {
+            entry.name for entry in self.db.ll.entries
+            if (entry.slr, entry.frame.column, entry.frame.region)
+            in rewritten
+        }
+        for name in self.db.netlist.registers:
+            if name in old_registers and name not in reconfigured:
+                new_sim.force(name, old_sim.peek(name))
+        for name, memory in self.db.netlist.memories.items():
+            if name in old_memories:
+                new_sim.memories[name][:] = old_sim.memories[name]
+        for name, domain in new_sim.domains.items():
+            if name in old_sim.domains:
+                domain.cycles = old_sim.domains[name].cycles
+        for name in self.db.netlist.inputs:
+            if name in old_sim.netlist.inputs:
+                new_sim.env[name] = old_sim.env[name]
+        new_sim.time_ps = old_sim.time_ps
+        self.sim = new_sim
+        self._booted_db = self.db
+
+    # ------------------------------------------------------------------
+    # clocking (Section 4.2: global registers control the gates)
+    # ------------------------------------------------------------------
+
+    def set_clock_gates(self, mask: int, source_slr: int) -> None:
+        self._gate_mask = mask
+        self._apply_gates()
+
+    def _design_gate_requests(self) -> dict[str, bool]:
+        """Gate requests driven by the design itself (Debug Controller)."""
+        out: dict[str, bool] = {}
+        if self.sim is None or self.db is None:
+            return out
+        for domain, signal in self.db.gate_signals.items():
+            out[domain] = bool(self.sim.peek(signal))
+        return out
+
+    def _apply_gates(self) -> None:
+        if self.sim is None or self.db is None:
+            return
+        requests = self._design_gate_requests()
+        for domain, bit in self.db.domain_bits.items():
+            gated = self._shutdown \
+                or bool(self._gate_mask & (1 << bit)) \
+                or requests.get(domain, False)
+            self.sim.set_clock_gate(domain, gated)
+
+    def is_gated(self, domain: str) -> bool:
+        self._require_booted()
+        assert self.sim is not None
+        return self.sim.is_gated(domain)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(self, cycles: int = 1) -> None:
+        """Advance the data plane; gate requests re-evaluate every cycle.
+
+        The Debug Controller's pause output takes effect at the *next*
+        edge after it asserts — the same glitchless BUFGCE behaviour the
+        paper builds timing-precise pausing on.
+        """
+        self._require_booted()
+        assert self.sim is not None
+        for _ in range(cycles):
+            self._apply_gates()
+            self.sim.step(1)
+
+    def _require_booted(self) -> None:
+        if not self.booted or self.sim is None:
+            raise ConfigError("no design is running on the fabric")
+
+    # ------------------------------------------------------------------
+    # capture / restore / GSR (frame <-> flip-flop traffic)
+    # ------------------------------------------------------------------
+
+    def capture(self, slr_index: int, regions: Optional[set[int]]) -> None:
+        """GCAPTURE: copy FF values into this SLR's capture frames, and
+        refresh memory (BRAM/LUTRAM) content frames."""
+        self._require_booted()
+        assert self.sim is not None and self.db is not None
+        memory = self.config[slr_index]
+        for entry in self.db.ll.entries_for_slr(slr_index):
+            if regions is not None and entry.frame.region not in regions:
+                continue
+            value = (self.sim.peek(entry.name) >> entry.bit) & 1
+            memory.set_bit(entry.frame, entry.offset, value)
+        self._capture_memories(slr_index, regions)
+
+    def _capture_memories(self, slr_index: int,
+                          regions: Optional[set[int]]) -> None:
+        """Pack live memory words into content frames."""
+        assert self.sim is not None and self.db is not None
+        space = self.spaces[slr_index]
+        config = self.config[slr_index]
+        for name, placement in self.db.memory_map.items():
+            if placement.slr != slr_index:
+                continue
+            first_region = placement.frame_addresses(space)[0].region
+            if regions is not None and first_region not in regions:
+                continue
+            mem = self.db.netlist.memories[name]
+            words = self.sim.memories[name]
+            frames: dict = {}
+            for index, word in enumerate(words):
+                for bit in range(mem.width):
+                    address, offset = placement.locate_bit(
+                        space, index * mem.width + bit)
+                    frame = frames.get(address)
+                    if frame is None:
+                        frame = frames[address] = \
+                            config.read_frame(address)
+                    word_i, word_off = divmod(offset, 32)
+                    if (word >> bit) & 1:
+                        frame[word_i] |= 1 << word_off
+                    else:
+                        frame[word_i] &= ~(1 << word_off)
+            for address, frame in frames.items():
+                config._frames[address] = frame  # capture, not "dirty"
+
+    def apply_content_frame(self, slr_index: int, address) -> None:
+        """Apply one written content frame back to the live memory.
+
+        Writing BRAM/LUTRAM content frames over FDRI while the design is
+        paused directly alters memory contents on real hardware; the
+        microcontroller calls this after each content-frame write. Only
+        the memory words whose bits the frame holds are touched.
+        """
+        if self.sim is None or self.db is None:
+            return
+        from ..fpga.frames import BLOCK_BRAM, FRAME_WORDS
+        if address.block_type != BLOCK_BRAM:
+            return
+        space = self.spaces[slr_index]
+        config = self.config[slr_index]
+        frame_bits = FRAME_WORDS * 32
+        for name, placement in self.db.memory_map.items():
+            if placement.slr != slr_index:
+                continue
+            frame_start = placement.covers_frame(space, address)
+            if frame_start is None or frame_start >= placement.bits:
+                continue
+            mem = self.db.netlist.memories[name]
+            live = self.sim.memories[name]
+            first_word = frame_start // mem.width
+            last_word = min(
+                mem.depth - 1,
+                (frame_start + frame_bits - 1) // mem.width)
+            for index in range(first_word, last_word + 1):
+                value = 0
+                for bit in range(mem.width):
+                    frame_addr, offset = placement.locate_bit(
+                        space, index * mem.width + bit)
+                    value |= config.get_bit(frame_addr, offset) << bit
+                live[index] = value
+        self.sim._dirty = True
+
+    def restore(self, slr_index: int, regions: Optional[set[int]]) -> None:
+        """GRESTORE: load FF values from this SLR's capture frames."""
+        self._require_booted()
+        assert self.sim is not None and self.db is not None
+        memory = self.config[slr_index]
+        updates: dict[str, int] = {}
+        for entry in self.db.ll.entries_for_slr(slr_index):
+            if regions is not None and entry.frame.region not in regions:
+                continue
+            bit = memory.get_bit(entry.frame, entry.offset)
+            current = updates.get(entry.name, self.sim.peek(entry.name))
+            if bit:
+                current |= 1 << entry.bit
+            else:
+                current &= ~(1 << entry.bit)
+            updates[entry.name] = current
+        for name, value in updates.items():
+            self.sim.force(name, value)
+
+    def apply_gsr(self, slr_index: int,
+                  regions: Optional[set[int]]) -> None:
+        """Global set/reset: registers return to their init values."""
+        if self.sim is None or self.db is None:
+            return
+        for entry in self.db.ll.entries_for_slr(slr_index):
+            if regions is not None and entry.frame.region not in regions:
+                continue
+            register = self.db.netlist.registers.get(entry.name)
+            if register is not None:
+                self.sim.force(entry.name, register.init)

@@ -1,0 +1,81 @@
+"""Bitstream program builders for complete designs.
+
+Turn a :class:`~repro.config.database.DesignDatabase` into the word
+streams that configure a card: the full multi-SLR program (sections in
+ring order, each opened by its BOUT hop group, exactly the structure the
+paper dissects) and partial programs used by VTI's fast reload and by
+snapshot restore.
+"""
+
+from __future__ import annotations
+
+from ..bitstream.assembler import BitstreamAssembler
+from ..fpga.frames import FrameAddress
+from .database import DesignDatabase
+
+
+def slr_config_order(db: DesignDatabase) -> list[int]:
+    """Primary first, then ring order — the order sections appear in."""
+    device = db.device
+    return [(device.primary_slr + hops) % device.slr_count
+            for hops in range(device.slr_count)]
+
+
+def build_full_bitstream(db: DesignDatabase) -> list[int]:
+    """The complete configuration program for a design."""
+    asm = BitstreamAssembler(db.device)
+    asm.preamble()
+    for slr_index in slr_config_order(db):
+        asm.hop_to_slr(slr_index)
+        asm.write_idcode()
+        image = db.frame_image.get(slr_index, {})
+        for address in sorted(image):
+            asm.write_frames(address, [image[address]])
+    asm.hop_to_slr(db.device.primary_slr)
+    asm.startup()
+    return asm.words
+
+
+def build_partial_bitstream(db: DesignDatabase, slr_index: int,
+                            frames: dict[FrameAddress, list[int]],
+                            region_mask: int = 0) -> list[int]:
+    """Reconfigure a subset of one SLR's frames while the rest persists.
+
+    Mirrors the vendor partial-reconfiguration flow: SHUTDOWN the
+    clocks, set the GSR MASK to the dynamic region, deliver the frames,
+    then START. Note the mask is *not* cleared afterwards — the exact
+    behaviour Zoomie's readback must compensate for (Section 4.7).
+    """
+    asm = BitstreamAssembler(db.device)
+    asm.preamble()
+    asm.command("SHUTDOWN")
+    asm.hop_to_slr(slr_index)
+    if region_mask:
+        asm.write_register("MASK", [region_mask])
+    for address in sorted(frames):
+        asm.write_frames(address, [frames[address]])
+    asm.hop_to_slr(db.device.primary_slr)
+    asm.command("START").nop(2).command("DESYNC").dummy(4)
+    return asm.words
+
+
+def build_state_write(db: DesignDatabase, slr_index: int,
+                      capture_frames: dict[FrameAddress, list[int]]
+                      ) -> list[int]:
+    """Write capture frames and GRESTORE them into the running design.
+
+    This is the state-manipulation path (Section 3.3): the debugger
+    modifies FF values by writing their capture bits and pulsing
+    GRESTORE, leaving untouched regions intact.
+    """
+    asm = BitstreamAssembler(db.device)
+    asm.preamble()
+    asm.hop_to_slr(slr_index)
+    asm.clear_mask()
+    asm.command("WCFG")
+    for address in sorted(capture_frames):
+        asm.write_register("FAR", [address.to_word()])
+        asm.write_register("FDRI", list(capture_frames[address]))
+    asm.restore()
+    asm.command("DESYNC").dummy(2)
+    return asm.words

@@ -1,0 +1,6 @@
+"""The Zoomie facade: one object from RTL to interactive debugging."""
+
+from .zoomie import Zoomie, ZoomieSession
+from .project import ZoomieProject
+
+__all__ = ["Zoomie", "ZoomieProject", "ZoomieSession"]

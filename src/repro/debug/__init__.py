@@ -1,0 +1,44 @@
+"""Zoomie's debugging layer.
+
+- :mod:`controller` — the Debug Controller RTL generator (Algorithm 1
+  trigger engine, 64-bit step counter, pause latch) and the netlist
+  instrumentation pass that inserts it, the compiled assertion monitors,
+  and pause buffers into a user design;
+- :mod:`readback_engine` — SLR-aware state readback (the Table 3
+  optimization) plus the naive whole-SLR scan it replaces;
+- :mod:`state` — readback parsing into named register values, snapshots,
+  and diffs;
+- :mod:`debugger` — :class:`ZoomieDebugger`, the gdb-like front end:
+  breakpoints, watch conditions, stepping, state read/write/force,
+  snapshot and replay;
+- :mod:`ila_flow` — the traditional ILA debugging loop model used as the
+  baseline in the case studies.
+"""
+
+from .controller import (
+    DebugControllerSpec,
+    InstrumentedDesign,
+    instrument_netlist,
+    make_debug_controller,
+)
+from .readback_engine import ReadbackEngine, estimate_readback_seconds
+from .state import StateSnapshot, diff_snapshots, parse_capture_frames
+from .debugger import ZoomieDebugger
+from .cli import ZoomieCli
+from .ila_flow import IlaDebugSession, ZoomieDebugSession
+
+__all__ = [
+    "DebugControllerSpec",
+    "IlaDebugSession",
+    "InstrumentedDesign",
+    "ReadbackEngine",
+    "StateSnapshot",
+    "ZoomieCli",
+    "ZoomieDebugSession",
+    "ZoomieDebugger",
+    "diff_snapshots",
+    "estimate_readback_seconds",
+    "instrument_netlist",
+    "make_debug_controller",
+    "parse_capture_frames",
+]

@@ -1,0 +1,268 @@
+"""A gdb-like command interpreter over :class:`ZoomieDebugger`.
+
+The paper pitches Zoomie as "the same abstraction as modern software
+debuggers"; this module makes that literal — a textual command loop with
+the familiar verbs::
+
+    (zoomie) break issued=5
+    (zoomie) run
+    paused at cycle 17
+    (zoomie) print lsu.issued_count
+    lsu.issued_count = 0x5
+    (zoomie) set datapath.acc 0xabcd
+    (zoomie) step 3
+    (zoomie) snapshot before-fix
+    (zoomie) continue
+
+Every command returns its output as a string (:meth:`ZoomieCli.execute`),
+so sessions are scriptable and testable; :meth:`repl` wraps it in an
+interactive ``input()`` loop.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Callable
+
+from ..errors import ReproError
+from .debugger import ZoomieDebugger
+from .state import StateSnapshot, diff_snapshots
+
+_HELP = """\
+Commands:
+  break SIG=VAL [SIG=VAL ...] [or]  value breakpoint (AND of all
+                                    conditions; append 'or' for any-match)
+  watch SIG [SIG ...]               watchpoint: pause when a value changes
+  bassert on|off                    assertion breakpoints
+  cycle N                           pause after N more cycles
+  run [MAX]                         run until a breakpoint (bound MAX)
+  step [N]                          execute exactly N cycles (default 1)
+  pause                             host-initiated pause
+  continue                          resume execution (clears triggers)
+  print NAME                        read one register (alias: p)
+  state [PREFIX]                    read back all registers under PREFIX
+  set NAME VALUE                    force a register value
+  snapshot [LABEL]                  capture full state under LABEL
+  restore LABEL                     restore a captured snapshot
+  diff LABEL                        compare current state to a snapshot
+  watchlist                         show value-trigger slots
+  info                              session status
+  clear                             clear all breakpoints
+  help                              this text
+  quit                              leave the repl"""
+
+
+def _parse_value(text: str) -> int:
+    return int(text, 0)
+
+
+class ZoomieCli:
+    """Command interpreter bound to one debugger."""
+
+    def __init__(self, debugger: ZoomieDebugger):
+        self.debugger = debugger
+        self.snapshots: dict[str, StateSnapshot] = {}
+        self._commands: dict[str, Callable[[list[str]], str]] = {
+            "break": self._cmd_break,
+            "b": self._cmd_break,
+            "bassert": self._cmd_bassert,
+            "watch": self._cmd_watch,
+            "cycle": self._cmd_cycle,
+            "run": self._cmd_run,
+            "r": self._cmd_run,
+            "step": self._cmd_step,
+            "s": self._cmd_step,
+            "pause": self._cmd_pause,
+            "continue": self._cmd_continue,
+            "c": self._cmd_continue,
+            "print": self._cmd_print,
+            "p": self._cmd_print,
+            "state": self._cmd_state,
+            "set": self._cmd_set,
+            "snapshot": self._cmd_snapshot,
+            "restore": self._cmd_restore,
+            "diff": self._cmd_diff,
+            "watchlist": self._cmd_watchlist,
+            "info": self._cmd_info,
+            "clear": self._cmd_clear,
+            "help": lambda args: _HELP,
+        }
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def execute(self, line: str) -> str:
+        """Run one command line; returns its output (never raises for
+        user errors — they come back as ``error: ...`` text)."""
+        parts = shlex.split(line)
+        if not parts:
+            return ""
+        verb, *args = parts
+        handler = self._commands.get(verb)
+        if handler is None:
+            return f"error: unknown command {verb!r} (try 'help')"
+        try:
+            return handler(args)
+        except (ReproError, ValueError) as exc:
+            return f"error: {exc}"
+
+    def run_script(self, lines: list[str]) -> list[str]:
+        """Execute a list of commands; returns their outputs."""
+        return [self.execute(line) for line in lines]
+
+    def repl(self, input_fn=input, print_fn=print) -> None:
+        """Interactive loop (exits on ``quit`` or EOF)."""
+        print_fn("Zoomie debugger. 'help' lists commands.")
+        while True:
+            try:
+                line = input_fn("(zoomie) ")
+            except EOFError:
+                break
+            if line.strip() in ("quit", "exit", "q"):
+                break
+            output = self.execute(line)
+            if output:
+                print_fn(output)
+
+    # ------------------------------------------------------------------
+    # commands
+    # ------------------------------------------------------------------
+
+    def _status_line(self) -> str:
+        dbg = self.debugger
+        state = "paused" if dbg.is_paused() else "running"
+        return f"{state} at cycle {dbg.cycles()}"
+
+    def _cmd_break(self, args: list[str]) -> str:
+        mode = "and"
+        if args and args[-1] in ("or", "and"):
+            mode = args[-1]
+            args = args[:-1]
+        if not args:
+            raise ValueError("usage: break SIG=VAL [SIG=VAL ...] [or]")
+        conditions: dict[str, int] = {}
+        for arg in args:
+            name, _, value = arg.partition("=")
+            if not value:
+                raise ValueError(f"malformed condition {arg!r}")
+            conditions[name] = _parse_value(value)
+        self.debugger.set_value_breakpoint(conditions, mode=mode)
+        joined = f" {mode.upper()} ".join(
+            f"{k}=={v:#x}" for k, v in conditions.items())
+        return f"breakpoint set: {joined}"
+
+    def _cmd_watch(self, args: list[str]) -> str:
+        if not args:
+            raise ValueError("usage: watch SIG [SIG ...]")
+        self.debugger.set_watchpoint(*args)
+        return f"watchpoint on {', '.join(args)} (pause on change)"
+
+    def _cmd_bassert(self, args: list[str]) -> str:
+        if args != ["on"] and args != ["off"]:
+            raise ValueError("usage: bassert on|off")
+        enable = args == ["on"]
+        self.debugger.break_on_assertions(enable)
+        return f"assertion breakpoints {'enabled' if enable else 'disabled'}"
+
+    def _cmd_cycle(self, args: list[str]) -> str:
+        if len(args) != 1:
+            raise ValueError("usage: cycle N")
+        count = _parse_value(args[0])
+        self.debugger.set_cycle_breakpoint(count)
+        return f"cycle breakpoint: pause after {count} cycles"
+
+    def _cmd_run(self, args: list[str]) -> str:
+        bound = _parse_value(args[0]) if args else 100_000
+        ran = self.debugger.run(max_cycles=bound)
+        if self.debugger.is_paused():
+            return f"ran {ran} cycles; {self._status_line()}"
+        return f"ran {ran} cycles without hitting a breakpoint"
+
+    def _cmd_step(self, args: list[str]) -> str:
+        count = _parse_value(args[0]) if args else 1
+        advanced = self.debugger.step(count)
+        return f"stepped {advanced} cycle(s); {self._status_line()}"
+
+    def _cmd_pause(self, args: list[str]) -> str:
+        self.debugger.pause()
+        return self._status_line()
+
+    def _cmd_continue(self, args: list[str]) -> str:
+        self.debugger.resume()
+        return "running"
+
+    def _cmd_print(self, args: list[str]) -> str:
+        if len(args) != 1:
+            raise ValueError("usage: print NAME")
+        value = self.debugger.read(args[0])
+        return f"{args[0]} = {value:#x} ({value})"
+
+    def _cmd_state(self, args: list[str]) -> str:
+        prefix = args[0] if args else ""
+        snapshot = self.debugger.read_state(prefix=prefix)
+        lines = [
+            f"{name} = {value:#x}"
+            for name, value in sorted(snapshot.values.items())
+            if not name.startswith("zoomie_")
+        ]
+        lines.append(f"({len(lines)} registers, "
+                     f"{snapshot.acquisition_seconds * 1000:.0f} ms "
+                     f"readback)")
+        return "\n".join(lines)
+
+    def _cmd_set(self, args: list[str]) -> str:
+        if len(args) != 2:
+            raise ValueError("usage: set NAME VALUE")
+        name, value = args[0], _parse_value(args[1])
+        self.debugger.force(name, value)
+        return f"{name} <- {value:#x}"
+
+    def _cmd_snapshot(self, args: list[str]) -> str:
+        label = args[0] if args else f"snap{len(self.snapshots)}"
+        self.snapshots[label] = self.debugger.snapshot(label)
+        return (f"snapshot {label!r}: "
+                f"{len(self.snapshots[label])} registers")
+
+    def _cmd_restore(self, args: list[str]) -> str:
+        if len(args) != 1 or args[0] not in self.snapshots:
+            known = ", ".join(self.snapshots) or "none"
+            raise ValueError(f"usage: restore LABEL (known: {known})")
+        self.debugger.restore(self.snapshots[args[0]])
+        return f"restored {args[0]!r}"
+
+    def _cmd_diff(self, args: list[str]) -> str:
+        if len(args) != 1 or args[0] not in self.snapshots:
+            raise ValueError("usage: diff LABEL")
+        current = self.debugger.snapshot("current")
+        changes = diff_snapshots(self.snapshots[args[0]], current)
+        lines = [
+            f"{name}: {old:#x} -> {new:#x}"
+            for name, (old, new) in sorted(changes.items())
+            if not name.startswith("zoomie_")
+        ]
+        return "\n".join(lines) if lines else "(no differences)"
+
+    def _cmd_watchlist(self, args: list[str]) -> str:
+        slots = self.debugger.inst.spec.slots
+        if not slots:
+            return "(no trigger slots)"
+        return "\n".join(
+            f"slot {slot.index}: {slot.alias or slot.signal} "
+            f"({slot.width} bits)"
+            for slot in slots)
+
+    def _cmd_info(self, args: list[str]) -> str:
+        dbg = self.debugger
+        return "\n".join([
+            self._status_line(),
+            f"monitors: {len(dbg.inst.monitors)} "
+            f"(+{len(dbg.inst.skipped_assertions)} unsynthesizable)",
+            f"pause buffers: {len(dbg.inst.pause_buffers)}",
+            f"snapshots: {sorted(self.snapshots) or '[]'}",
+            f"session JTAG time: {dbg.session_seconds:.2f} s",
+        ])
+
+    def _cmd_clear(self, args: list[str]) -> str:
+        self.debugger.clear_breakpoints()
+        return "all breakpoints cleared"

@@ -1,0 +1,399 @@
+"""The software-like debugger front end (paper Sections 2.2, 3.3-3.4).
+
+:class:`ZoomieDebugger` drives an instrumented design on the emulated
+fabric purely through the configuration plane: value/cycle/assertion
+breakpoints, pause/resume, single-stepping, full state readback, state
+forcing, and snapshot/restore — all without recompilation.
+
+Every control operation travels the honest path: trigger registers and
+the pause latch are ordinary flip-flops of the Debug Controller, written
+by a **capture-modify-restore** sequence (GCAPTURE the SLR, rewrite the
+target bits in the capture frames over FDRI, GRESTORE) — the same way
+the paper's Section 3.3 state manipulation works, and the reason the
+debugger requires the design paused before touching MUT state (the
+controller itself lives on the free clock and is always safe to write in
+our atomic-JTAG model).
+"""
+
+from __future__ import annotations
+
+from ..bitstream.assembler import BitstreamAssembler
+from ..config.fabric import FabricDevice
+from ..errors import BreakpointError, DebugError, NotPausedError
+from ..fpga.frames import FRAME_WORDS, FrameAddress
+from .controller import InstrumentedDesign
+from .readback_engine import ReadbackEngine
+from .state import StateSnapshot
+
+#: Safety bound multiplier for run-until-pause loops.
+RUN_SLACK = 64
+
+
+class ZoomieDebugger:
+    """Interactive debugging of one design running on one fabric."""
+
+    def __init__(self, fabric: FabricDevice,
+                 instrumented: InstrumentedDesign):
+        if fabric.sim is None:
+            raise DebugError("program the fabric before attaching")
+        self.fabric = fabric
+        self.inst = instrumented
+        self.engine = ReadbackEngine(fabric)
+        #: Accumulated (modeled) JTAG seconds of this session.
+        self.session_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # run control
+    # ------------------------------------------------------------------
+
+    @property
+    def _pause_signal(self) -> str:
+        return self.inst.spec.pause_out
+
+    def is_paused(self) -> bool:
+        assert self.fabric.sim is not None
+        return bool(self.fabric.sim.peek(self._pause_signal))
+
+    def cycles(self) -> int:
+        """Committed cycles of the MUT's (first) clock domain."""
+        assert self.fabric.sim is not None
+        return self.fabric.sim.cycles(self.inst.mut_domains[0])
+
+    def stepping_precise(self) -> bool:
+        """Whether cycle-exact stepping holds for this design's clocks
+        (paper Section 6.1)."""
+        from .controller import stepping_is_precise
+        assert self.fabric.db is not None
+        periods = {
+            domain: self.fabric.db.clocks[domain]
+            for domain in self.inst.mut_domains
+            if domain in self.fabric.db.clocks
+        }
+        return stepping_is_precise(periods)
+
+    def run(self, max_cycles: int = 100_000) -> int:
+        """Run until a breakpoint pauses the design (or the bound).
+
+        Returns the number of fabric cycles advanced.
+        """
+        ran = 0
+        while ran < max_cycles:
+            if self.is_paused():
+                break
+            self.fabric.run(1)
+            ran += 1
+        return ran
+
+    def pause(self) -> None:
+        """Host-initiated pause (e.g. the design appears hung)."""
+        self._write_registers({self.inst.spec.host_pause_reg: 1})
+
+    def resume(self, clear_triggers: bool = True) -> None:
+        """Clear the pause latch and continue.
+
+        By default the value triggers are cleared too — the trigger
+        condition usually still holds in the frozen state, and would
+        re-pause on the very next cycle otherwise (set
+        ``clear_triggers=False`` to keep them armed).
+        """
+        updates = {
+            self.inst.spec.paused_reg: 0,
+            self.inst.spec.host_pause_reg: 0,
+            self.inst.spec.step_armed_reg: 0,
+        }
+        if clear_triggers:
+            updates.update(self._trigger_clear_updates())
+        self._write_registers(updates)
+
+    def step(self, cycles: int = 1, force: bool = False) -> int:
+        """Execute exactly ``cycles`` MUT cycles, then pause again
+        (the Debug Controller's 64-bit counter, Section 3.4).
+
+        Cycle counts refer to the first (fastest-listed) MUT domain.
+        Designs whose MUT clock periods are not integer multiples of the
+        fastest one cannot be stepped cycle-exactly (paper Section 6.1);
+        such a step raises unless ``force=True`` accepts the imprecision.
+        """
+        if cycles <= 0:
+            raise BreakpointError("step count must be positive")
+        if not force and not self.stepping_precise():
+            raise BreakpointError(
+                "cycle-exact stepping requires the MUT's clock periods "
+                "to be integer multiples of the fastest one (paper "
+                "Section 6.1); pass force=True to step imprecisely")
+        before = self.cycles()
+        updates = {
+            self.inst.spec.step_count_reg: cycles,
+            self.inst.spec.step_armed_reg: 1,
+            self.inst.spec.paused_reg: 0,
+            self.inst.spec.host_pause_reg: 0,
+        }
+        updates.update(self._trigger_clear_updates())
+        self._write_registers(updates)
+        self.run(max_cycles=cycles + RUN_SLACK)
+        return self.cycles() - before
+
+    # ------------------------------------------------------------------
+    # breakpoints (Algorithm 1 trigger composition)
+    # ------------------------------------------------------------------
+
+    def _trigger_clear_updates(self) -> dict[str, int]:
+        updates: dict[str, int] = {
+            self.inst.spec.and_sel_reg: 0,
+            self.inst.spec.or_sel_reg: 0,
+        }
+        for slot in self.inst.spec.slots:
+            updates[slot.and_mask_reg] = 0
+            updates[slot.or_mask_reg] = 0
+            updates[slot.watch_mask_reg] = 0
+        return updates
+
+    def set_watchpoint(self, *signals: str) -> None:
+        """Pause when any of the watched signals *changes* value
+        between executed cycles (a software-debugger watchpoint)."""
+        if not signals:
+            raise BreakpointError("need at least one signal to watch")
+        updates: dict[str, int] = {}
+        for signal in signals:
+            slot = self.inst.spec.slot_for(signal)
+            updates[slot.watch_mask_reg] = 1
+            # Suppress comparison until one executed edge re-baselines
+            # the shadow register (self-clearing arm bit).
+            updates[slot.watch_arm_reg] = 1
+        self._write_registers(updates)
+
+    def set_value_breakpoint(self, conditions: dict[str, int],
+                             mode: str = "and") -> None:
+        """Pause when the watched signals take the given values.
+
+        ``mode="and"`` pauses when *all* conditions hold simultaneously
+        (e.g. the case-study-2 condition ``mcause[63]==0 && MIE==0 &&
+        MPIE==0``); ``mode="or"`` pauses on any single match.
+        """
+        if mode not in ("and", "or"):
+            raise BreakpointError(f"unknown trigger mode {mode!r}")
+        if not conditions:
+            raise BreakpointError("need at least one trigger condition")
+        updates = self._trigger_clear_updates()
+        for signal, value in conditions.items():
+            slot = self.inst.spec.slot_for(signal)
+            updates[slot.ref_reg] = value
+            key = slot.and_mask_reg if mode == "and" else slot.or_mask_reg
+            updates[key] = 1
+        sel = (self.inst.spec.and_sel_reg if mode == "and"
+               else self.inst.spec.or_sel_reg)
+        updates[sel] = 1
+        self._write_registers(updates)
+
+    def set_cycle_breakpoint(self, cycles: int) -> None:
+        """Pause after ``cycles`` more cycles (without resuming now)."""
+        self._write_registers({
+            self.inst.spec.step_count_reg: cycles,
+            self.inst.spec.step_armed_reg: 1,
+        })
+
+    def break_on_assertions(self, enable: bool = True) -> None:
+        """Turn SVA failure pauses on or off (Section 3.4)."""
+        self._write_registers({
+            self.inst.spec.assert_en_reg: int(enable)})
+
+    def clear_breakpoints(self) -> None:
+        updates = self._trigger_clear_updates()
+        updates[self.inst.spec.step_armed_reg] = 0
+        updates[self.inst.spec.assert_en_reg] = 0
+        self._write_registers(updates)
+
+    # ------------------------------------------------------------------
+    # state access
+    # ------------------------------------------------------------------
+
+    def read_state(self, prefix: str = "",
+                   allow_running: bool = False) -> StateSnapshot:
+        """Read back all registers under ``prefix`` (full visibility)."""
+        if not allow_running:
+            self._require_paused("state readback")
+        snapshot = self.engine.snapshot(prefix=prefix)
+        self.session_seconds += snapshot.acquisition_seconds
+        return snapshot
+
+    def read(self, name: str) -> int:
+        """Read one register's value."""
+        snapshot = self.read_state(prefix=name, allow_running=True)
+        return snapshot[name]
+
+    def write_state(self, updates: dict[str, int]) -> None:
+        """Force register values in the paused design (Section 3.3)."""
+        self._require_paused("state writes")
+        self._write_registers(updates)
+
+    def force(self, name: str, value: int) -> None:
+        self.write_state({name: value})
+
+    def sample_over(self, names: list[str], cycles: int,
+                    stride: int = 1) -> list[dict[str, int]]:
+        """Record registers over time by single-stepping — the paper's
+        "printing of arbitrary signals at run time by single stepping
+        without recompiling the design" (Section 7.7).
+
+        Returns one row per sample: the named registers' values after
+        each ``stride``-cycle step, starting with the current state.
+        ``names`` may be any registers (or hierarchical prefixes) — no
+        probe selection happened at compile time.
+        """
+        self._require_paused("sampling")
+
+        def sample() -> dict[str, int]:
+            row: dict[str, int] = {}
+            for name in names:
+                snapshot = self.engine.snapshot(prefix=name)
+                self.session_seconds += snapshot.acquisition_seconds
+                row.update(snapshot.values)
+            return row
+
+        rows = [sample()]
+        taken = 0
+        while taken < cycles:
+            step = min(stride, cycles - taken)
+            self.step(step)
+            taken += step
+            rows.append(sample())
+        return rows
+
+    def snapshot(self, label: str = "") -> StateSnapshot:
+        """Capture the full design state for later replay."""
+        self._require_paused("snapshots")
+        snap = self.engine.snapshot(label=label)
+        self.session_seconds += snap.acquisition_seconds
+        return snap
+
+    def write_memory(self, name: str, words: list[int]) -> None:
+        """Overwrite a mapped memory's full contents (Section 3.3 for
+        BRAM/LUTRAM: the words travel as content frames over FDRI)."""
+        self._require_paused("memory writes")
+        db = self.fabric.db
+        assert db is not None
+        placement = db.memory_map.get(name)
+        if placement is None:
+            raise DebugError(f"memory {name!r} has no content mapping")
+        mem = db.netlist.memories[name]
+        if len(words) != mem.depth:
+            raise DebugError(
+                f"memory {name!r} holds {mem.depth} words, got "
+                f"{len(words)}")
+        space = self.fabric.spaces[placement.slr]
+        frames: dict[FrameAddress, list[int]] = {}
+        for index, word in enumerate(words):
+            for bit in range(mem.width):
+                address, offset = placement.locate_bit(
+                    space, index * mem.width + bit)
+                frame = frames.setdefault(address, [0] * FRAME_WORDS)
+                word_i, word_off = divmod(offset, 32)
+                if (word >> bit) & 1:
+                    frame[word_i] |= 1 << word_off
+        device = self.fabric.device
+        asm = BitstreamAssembler(device)
+        asm.preamble()
+        self._hop(asm, placement.slr)
+        asm.command("WCFG")
+        for address in sorted(frames):
+            asm.write_register("FAR", [address.to_word()])
+            asm.write_register("FDRI", frames[address])
+        asm.command("DESYNC").dummy(2)
+        result = self.fabric.jtag.run(asm.words)
+        self.session_seconds += result.seconds
+
+    def restore(self, snapshot: StateSnapshot) -> None:
+        """Load a snapshot back into the paused design (replay)."""
+        self._require_paused("snapshot restore")
+        writable = {
+            name: value for name, value in snapshot.values.items()
+            if name in self.fabric.db.netlist.registers
+        }
+        self._write_registers(writable)
+        for name, words in snapshot.memories.items():
+            if name in self.fabric.db.memory_map:
+                self.write_memory(name, words)
+
+    def _require_paused(self, what: str) -> None:
+        if not self.is_paused():
+            raise NotPausedError(
+                f"{what} require(s) the design to be paused; call "
+                f"pause() or hit a breakpoint first")
+
+    # ------------------------------------------------------------------
+    # the capture-modify-restore write path
+    # ------------------------------------------------------------------
+
+    def _write_registers(self, updates: dict[str, int]) -> None:
+        db = self.fabric.db
+        assert db is not None
+        by_register = db.ll.by_register()
+        by_slr: dict[int, dict[str, int]] = {}
+        for name, value in updates.items():
+            entries = by_register.get(name)
+            if not entries:
+                raise DebugError(
+                    f"register {name!r} has no logic-location entries")
+            by_slr.setdefault(entries[0].slr, {})[name] = value
+        for slr, slr_updates in sorted(by_slr.items()):
+            self._write_slr(slr, slr_updates, by_register)
+
+    def _write_slr(self, slr: int, updates: dict[str, int],
+                   by_register) -> None:
+        device = self.fabric.device
+
+        # 1. Capture current state and read the frames we must edit.
+        frames_needed: list[FrameAddress] = []
+        for name in updates:
+            for entry in by_register[name]:
+                if entry.frame not in frames_needed:
+                    frames_needed.append(entry.frame)
+        frames_needed.sort()
+
+        asm = BitstreamAssembler(device)
+        asm.preamble()
+        self._hop(asm, slr)
+        asm.clear_mask()
+        asm.capture()
+        for address in frames_needed:
+            asm.read_frames(address, 1)
+        asm.command("DESYNC").dummy(2)
+        result = self.fabric.jtag.run(asm.words)
+        self.session_seconds += result.seconds
+        frame_words = {
+            address: result.read_words[i * FRAME_WORDS:(i + 1) * FRAME_WORDS]
+            for i, address in enumerate(frames_needed)
+        }
+
+        # 2. Modify the target bits locally.
+        for name, value in updates.items():
+            for entry in by_register[name]:
+                words = frame_words[entry.frame]
+                word, offset = divmod(entry.offset, 32)
+                bit = (value >> entry.bit) & 1
+                if bit:
+                    words[word] |= 1 << offset
+                else:
+                    words[word] &= ~(1 << offset)
+
+        # 3. Write the edited capture frames back and GRESTORE: every
+        #    register reloads its just-captured value, except the edits.
+        asm = BitstreamAssembler(device)
+        asm.preamble()
+        self._hop(asm, slr)
+        asm.clear_mask()
+        asm.command("WCFG")
+        for address in frames_needed:
+            asm.write_register("FAR", [address.to_word()])
+            asm.write_register("FDRI", frame_words[address])
+        asm.restore()
+        asm.command("DESYNC").dummy(2)
+        result = self.fabric.jtag.run(asm.words)
+        self.session_seconds += result.seconds
+
+    def _hop(self, asm: BitstreamAssembler, slr: int) -> None:
+        hops = asm.hops_to(slr)
+        for _ in range(hops):
+            asm.write_register("BOUT", [])
+        if hops:
+            asm.dummy(4)

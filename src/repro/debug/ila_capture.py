@@ -1,0 +1,149 @@
+"""A runtime model of the vendor's Integrated Logic Analyzer.
+
+:mod:`repro.vendor.ila` accounts for the ILA's *compile-time* costs;
+this module makes the instrument itself executable so the case studies'
+baseline is more than a time model. An :class:`IlaCore` behaves like the
+real thing (paper Section 2.1):
+
+- it watches only the **probe signals chosen at compile time**;
+- it records into a **bounded BRAM window**: ``depth`` samples arranged
+  around a trigger (pre/post split per the trigger position);
+- the trigger compares probe values against a runtime-armable condition;
+- once the window fills, capture stops ("observe the design over a
+  short window of cycles rather than interactively explore");
+- changing the probe set requires building a **new core** — which in the
+  real flow means a full recompile.
+
+Used by tests and benchmarks to contrast with Zoomie's full visibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import DebugError
+from ..rtl.simulator import Simulator
+
+#: Default capture window (samples).
+DEFAULT_DEPTH = 1024
+
+
+@dataclass
+class IlaSample:
+    """One captured row."""
+
+    cycle: int
+    values: dict[str, int]
+
+
+@dataclass
+class IlaCore:
+    """One compiled-in logic analyzer core.
+
+    Parameters
+    ----------
+    simulator:
+        The running design.
+    probes:
+        Signal names fixed at "compile" time — reads outside this set
+        raise, exactly the pain the paper describes.
+    depth:
+        BRAM window size in samples.
+    domain:
+        The sampling clock.
+    trigger_position:
+        How many of the window's samples record *pre*-trigger history
+        (the circular pre-buffer), the rest post-trigger.
+    """
+
+    simulator: Simulator
+    probes: tuple[str, ...]
+    depth: int = DEFAULT_DEPTH
+    domain: str = "clk"
+    trigger_position: int = 16
+
+    _armed: Optional[dict[str, int]] = None
+    _pre: list[IlaSample] = field(default_factory=list)
+    _post: list[IlaSample] = field(default_factory=list)
+    triggered_at: Optional[int] = None
+    _attached: bool = False
+
+    def __post_init__(self):
+        if not self.probes:
+            raise DebugError("an ILA core needs at least one probe")
+        if not 0 <= self.trigger_position < self.depth:
+            raise DebugError("trigger position outside the window")
+        for probe in self.probes:
+            if probe not in self.simulator.env:
+                raise DebugError(
+                    f"probe {probe!r} does not exist; choosing new "
+                    f"signals means recompiling the design")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def attach(self) -> "IlaCore":
+        if not self._attached:
+            self.simulator.pre_edge_hooks.append(self._on_edge)
+            self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if self._attached:
+            self.simulator.pre_edge_hooks.remove(self._on_edge)
+            self._attached = False
+
+    def arm(self, condition: dict[str, int]) -> None:
+        """Arm the trigger: capture when all probe==value hold."""
+        unknown = set(condition) - set(self.probes)
+        if unknown:
+            raise DebugError(
+                f"trigger uses unprobed signals {sorted(unknown)}; the "
+                f"ILA can only trigger on compiled-in probes")
+        self._armed = dict(condition)
+        self._pre.clear()
+        self._post.clear()
+        self.triggered_at = None
+
+    # -- capture ------------------------------------------------------------
+
+    def _on_edge(self, sim: Simulator, ticked: frozenset[str]) -> None:
+        if self.domain not in ticked or self._armed is None:
+            return
+        if self.window_full:
+            return  # the window is a one-shot; re-arm to capture again
+        cycle = sim.cycles(self.domain)
+        row = IlaSample(
+            cycle=cycle,
+            values={p: sim.peek(p) for p in self.probes})
+        if self.triggered_at is None:
+            self._pre.append(row)
+            if len(self._pre) > self.trigger_position:
+                del self._pre[0]
+            if all(row.values[name] == value
+                   for name, value in self._armed.items()):
+                self.triggered_at = cycle
+        else:
+            self._post.append(row)
+
+    @property
+    def window_full(self) -> bool:
+        return (self.triggered_at is not None
+                and len(self._pre) + len(self._post) >= self.depth)
+
+    @property
+    def window(self) -> list[IlaSample]:
+        """The captured window (pre-trigger history, then post)."""
+        return [*self._pre, *self._post][:self.depth]
+
+    def value_at(self, cycle: int, probe: str) -> int:
+        if probe not in self.probes:
+            raise DebugError(
+                f"{probe!r} was not probed; recompile to observe it")
+        for sample in self.window:
+            if sample.cycle == cycle:
+                return sample.values[probe]
+        raise DebugError(
+            f"cycle {cycle} is outside the captured window "
+            f"({len(self.window)} samples) — the ILA cannot look "
+            f"further back")

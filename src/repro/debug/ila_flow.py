@@ -1,0 +1,151 @@
+"""Debug-session accounting: the traditional ILA loop vs. Zoomie.
+
+Models the two workflows the case studies compare (paper Figure 1 and
+Section 5.5):
+
+- :class:`IlaDebugSession` — the traditional loop: pick probe signals,
+  **recompile the whole design** with ILAs attached, run, stare at the
+  capture window, repeat. Each iteration costs a full vendor compile
+  plus run and inspection time.
+- :class:`ZoomieDebugSession` — a thin ledger over real
+  :class:`~repro.debug.debugger.ZoomieDebugger` operations: every pause,
+  readback, force, and step contributes its modeled JTAG seconds, plus
+  the same per-observation human inspection time, with **zero**
+  recompiles.
+
+Human time is modeled explicitly (and identically for both flows) so the
+comparison isolates tool time, the quantity the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..rtl.module import Module
+from ..vendor.flow import CompileResult, VivadoFlow
+from ..vendor.ila import IlaConfig
+
+#: Human time to study one observation (a capture window or a readback).
+HUMAN_INSPECTION_SECONDS = 180.0
+#: Wall time of one FPGA run to reproduce the failure.
+FPGA_RUN_SECONDS = 60.0
+
+
+@dataclass
+class DebugStep:
+    """One step of a debugging session."""
+
+    description: str
+    tool_seconds: float
+    human_seconds: float = 0.0
+    detail: str = ""
+
+    @property
+    def total_seconds(self) -> float:
+        return self.tool_seconds + self.human_seconds
+
+
+@dataclass
+class SessionSummary:
+    steps: list[DebugStep] = field(default_factory=list)
+    recompiles: int = 0
+
+    @property
+    def tool_seconds(self) -> float:
+        return sum(step.tool_seconds for step in self.steps)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(step.total_seconds for step in self.steps)
+
+    def render(self, title: str) -> str:
+        lines = [title]
+        for index, step in enumerate(self.steps, 1):
+            lines.append(
+                f"  {index:2d}. {step.description}: "
+                f"{step.total_seconds / 60:.1f} min")
+        lines.append(
+            f"  total: {self.total_seconds / 3600:.2f} h "
+            f"({self.recompiles} recompiles)")
+        return "\n".join(lines)
+
+
+class IlaDebugSession:
+    """The traditional iterative-recompilation debugging loop."""
+
+    def __init__(self, flow: VivadoFlow, design: Module,
+                 clocks: dict[str, float], ila_depth: int = 1024):
+        self.flow = flow
+        self.design = design
+        self.clocks = clocks
+        self.ila_depth = ila_depth
+        self.summary = SessionSummary()
+        self.last_compile: Optional[CompileResult] = None
+
+    def iterate(self, probes: list[tuple[str, int]],
+                description: str) -> DebugStep:
+        """One loop turn: mark signals, recompile, run, inspect."""
+        configs = [IlaConfig(probes=tuple(probes), depth=self.ila_depth)]
+        result = self.flow.compile(
+            self.design, self.clocks, ila_configs=configs)
+        self.last_compile = result
+        step = DebugStep(
+            description=description,
+            tool_seconds=result.total_seconds + FPGA_RUN_SECONDS,
+            human_seconds=HUMAN_INSPECTION_SECONDS,
+            detail=f"recompiled with {len(probes)} probes")
+        self.summary.steps.append(step)
+        self.summary.recompiles += 1
+        return step
+
+    def apply_fix(self, fixed_design: Module,
+                  description: str = "recompile with the fix") -> DebugStep:
+        """The final recompile carrying the actual bug fix."""
+        result = self.flow.compile(fixed_design, self.clocks)
+        self.design = fixed_design
+        self.last_compile = result
+        step = DebugStep(
+            description=description,
+            tool_seconds=result.total_seconds + FPGA_RUN_SECONDS,
+            human_seconds=0.0)
+        self.summary.steps.append(step)
+        self.summary.recompiles += 1
+        return step
+
+
+class ZoomieDebugSession:
+    """Ledger for a Zoomie interactive session.
+
+    Wraps a live debugger; callers run real operations and log them.
+    """
+
+    def __init__(self, debugger=None):
+        self.debugger = debugger
+        self.summary = SessionSummary()
+        self._last_logged_seconds = (
+            debugger.session_seconds if debugger else 0.0)
+
+    def observe(self, description: str, detail: str = "") -> DebugStep:
+        """Log one observation (pause/readback/step) with the JTAG time
+        the debugger actually spent since the last log entry."""
+        now = self.debugger.session_seconds if self.debugger else 0.0
+        tool = max(0.0, now - self._last_logged_seconds)
+        self._last_logged_seconds = now
+        step = DebugStep(
+            description=description,
+            tool_seconds=tool,
+            human_seconds=HUMAN_INSPECTION_SECONDS,
+            detail=detail)
+        self.summary.steps.append(step)
+        return step
+
+    def act(self, description: str, detail: str = "") -> DebugStep:
+        """Log a non-observation action (resume, force, snapshot)."""
+        now = self.debugger.session_seconds if self.debugger else 0.0
+        tool = max(0.0, now - self._last_logged_seconds)
+        self._last_logged_seconds = now
+        step = DebugStep(description=description, tool_seconds=tool,
+                         human_seconds=0.0, detail=detail)
+        self.summary.steps.append(step)
+        return step

@@ -1,0 +1,33 @@
+"""Evaluation designs.
+
+Python generators for every design the paper evaluates on:
+
+- :mod:`serv` / :mod:`manycore` — the award-winning bit-serial SERV core
+  and the CoreScore-style 5400-core SoC of Sections 5.2/5.3 (resource
+  shape matched to the paper's Table 2);
+- :mod:`ariane` — the 6-stage application-class RISC-V core with CSRs,
+  nested exceptions, and the eight bundled SVAs of Sections 5.4/5.6;
+- :mod:`cohort` — the heterogeneous accelerator SoC with the real
+  MMU handshake bug of the running example and case study 1;
+- :mod:`beehive` — the 250 MHz AXI-stream network stack of case study 3;
+- :mod:`counters` — small demonstration designs for tests and examples.
+"""
+
+from .serv import make_serv_core
+from .manycore import make_cluster, make_manycore_soc
+from .ariane import ARIANE_ASSERTIONS, make_ariane_core
+from .cohort import make_cohort_soc
+from .beehive import make_beehive_stack
+from .counters import make_counter, make_pipeline
+
+__all__ = [
+    "ARIANE_ASSERTIONS",
+    "make_ariane_core",
+    "make_beehive_stack",
+    "make_cluster",
+    "make_cohort_soc",
+    "make_counter",
+    "make_manycore_soc",
+    "make_pipeline",
+    "make_serv_core",
+]

@@ -1,0 +1,256 @@
+"""Ariane/CVA6-style application core (paper Sections 5.4 and 5.6).
+
+A 6-stage pipeline model with the machine-mode CSR state the case study
+inspects: ``pc``, ``mepc``, ``mcause`` (64-bit, interrupt flag in bit
+63), ``mtvec``, and the ``MIE``/``MPIE`` status bits, with RISC-V nested
+exception semantics (trap: ``MPIE <- MIE; MIE <- 0; mepc <- pc;
+pc <- mtvec``; ``mret`` reverses it).
+
+Substitution note (DESIGN.md): the full RV64GC ISA is irrelevant to the
+experiments; the core executes a six-opcode synthetic ISA sufficient to
+run "software", take nested exceptions, and hang exactly the way case
+study 2 needs (software sets ``mtvec`` to an unmapped address, every
+fetch at ``mtvec`` faults, and the core spins with ``pc == mepc`` and the
+exception flag high — legal hardware behaviour, software bug).
+
+:data:`ARIANE_ASSERTIONS` bundles the eight SVAs of Figure 8; number 3
+uses ``$isunknown`` and is the one the paper cannot synthesize.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..rtl.builder import ModuleBuilder
+from ..rtl.expr import Const, cat, mux
+from ..rtl.module import Module
+
+#: Instruction memory size in words; fetches at or beyond this address
+#: raise an instruction access fault.
+IMEM_WORDS = 256
+
+# Synthetic opcodes (instruction word low nibble).
+OP_NOP = 0
+OP_ADD = 1       # acc += imm
+OP_STORE = 2     # rf[rd] <- acc
+OP_ECALL = 3     # environment call (synchronous exception, cause 11)
+OP_JUMP = 4      # pc <- imm
+OP_MRET = 5      # return from trap
+OP_CSRW_MTVEC = 6  # mtvec <- imm
+
+CAUSE_INSTR_FAULT = 1
+CAUSE_ECALL = 11
+
+#: The eight randomly-selected CVA6 assertions of Figure 8 (shapes and
+#: operator mix modelled on the originals; #3 is the unsynthesizable
+#: ``$isunknown`` one).
+ARIANE_ASSERTIONS: list[str] = [
+    # 1: fetch handshake (implication + fixed delay).
+    "a1_fetch: assert property (@(posedge clk) disable iff (!resetn) "
+    "fetch_gnt |-> ##1 fetch_rvalid);",
+    # 2: commit implies an issue two cycles earlier ($past).
+    "a2_commit: assert property (@(posedge clk) disable iff (!resetn) "
+    "commit_valid |-> $past(issue_valid, 2));",
+    # 3: four-state check — simulation-only, cannot go to FPGA.
+    "a3_known: assert property (@(posedge clk) "
+    "!$isunknown(fetch_rdata));",
+    # 4: exceptions flush the frontend within two cycles (delay range).
+    "a4_flush: assert property (@(posedge clk) disable iff (!resetn) "
+    "$rose(exception) |-> ##[1:2] flush);",
+    # 5: stalls are bounded (consecutive repetition).
+    "a5_stall: assert property (@(posedge clk) disable iff (!resetn) "
+    "stall[*3] |=> !stall);",
+    # 6: issue+ready implies execute next cycle (sequence and).
+    "a6_issue: assert property (@(posedge clk) disable iff (!resetn) "
+    "issue_valid and rs_ready |=> ex_valid);",
+    # 7: privilege level is legal (immediate).
+    "a7_priv: assert (priv_level < 4);",
+    # 8: trap entry records a nonzero cause ($rose + compare).
+    "a8_mcause: assert property (@(posedge clk) disable iff (!resetn) "
+    "$rose(exception) |-> mcause != 0);",
+]
+
+
+@lru_cache(maxsize=None)
+def make_ariane_core(imem_init: tuple = (), attach_assertions: bool = True,
+                     ballast_lanes: int = 0) -> Module:
+    """Build the core; ``imem_init`` seeds the instruction memory as
+    ``(address, word)`` pairs (word = imm<<8 | opcode).
+
+    ``ballast_lanes`` adds execution-unit ballast (4-stage 32-bit
+    mix lanes, ~256 LUTs + 32 FFs each) standing in for CVA6's FPU,
+    caches, and decoder so the full-size core matches the published
+    ~42k LUTs / ~5k FFs (Section 5.4's Figure 8 baseline). The default
+    of 0 keeps the core small enough for the tiny test devices; the
+    Figure 8 benchmark builds it full-size with ``ballast_lanes=164``.
+    """
+    b = ModuleBuilder("ariane")
+    resetn = b.input("resetn", 1)
+    reset = b.wire_expr("reset", resetn.logical_not())
+
+    # ---- architectural state -------------------------------------------
+    pc = b.reg("pc", 64)
+    acc = b.reg("acc", 64)
+    mepc = b.reg("mepc", 64)
+    mcause = b.reg("mcause", 64)
+    mtvec = b.reg("mtvec", 64, init=0x80)
+    mie = b.reg("MIE", 1, init=1)
+    mpie = b.reg("MPIE", 1, init=1)
+    priv = b.reg("priv_level", 2, init=3)
+    instret = b.reg("instret", 64)
+
+    # ---- instruction memory and fetch ------------------------------------
+    # The synchronous read is addressed with the *next* pc so the data
+    # arriving after the edge matches the pc then current (otherwise the
+    # first instruction of every control transfer would replay).
+    imem = b.memory("imem", 32, IMEM_WORDS,
+                    init={addr: word for addr, word in imem_init})
+    pc_next = b.wire("pc_next", 64)
+    fetch_addr = b.wire_expr("fetch_addr", pc_next[7:0])
+    fetch_rdata = b.read_port(imem, "fetch_rdata", fetch_addr, sync=True)
+    fetch_fault = b.wire_expr(
+        "fetch_fault", pc.ge(Const(IMEM_WORDS, 64)))
+
+    # A 2-cycle fetch handshake (IF1/IF2 stages).
+    fetch_gnt = b.reg("fetch_gnt", 1)
+    fetch_rvalid = b.reg("fetch_rvalid", 1)
+    b.next(fetch_gnt, resetn)
+    b.next(fetch_rvalid, fetch_gnt)
+
+    # ---- pipeline stage registers (ID/EX/MEM/WB) ---------------------------
+    opcode = b.wire_expr("opcode", fetch_rdata[3:0])
+    imm = b.wire_expr("imm", cat(Const(0, 40), fetch_rdata[31:8]))
+    id_op = b.reg("id_op", 4)
+    id_imm = b.reg("id_imm", 64)
+    id_pc = b.reg("id_pc", 64)
+    ex_op = b.reg("ex_op", 4)
+    ex_result = b.reg("ex_result", 64)
+    mem_op = b.reg("mem_op", 4)
+    wb_op = b.reg("wb_op", 4)
+
+    issue_valid = b.wire_expr("issue_valid", fetch_rvalid)
+    rs_ready = b.wire_expr("rs_ready", Const(1, 1))
+    ex_valid = b.reg("ex_valid", 1)
+    b.next(ex_valid, issue_valid)
+    commit_valid = b.reg("commit_valid", 1)
+    b.next(commit_valid, ex_valid)
+
+    # ---- exception logic ---------------------------------------------------
+    take_ecall = b.wire_expr(
+        "take_ecall",
+        issue_valid.logical_and(opcode.eq(Const(OP_ECALL, 4))))
+    exception_now = b.wire_expr(
+        "exception_now",
+        reset.logical_not().logical_and(
+            fetch_fault.logical_or(take_ecall)))
+    exception = b.reg("exception", 1)
+    b.next(exception, exception_now)
+    flush = b.reg("flush", 1)
+    b.next(flush, exception)
+    stall = b.reg("stall", 1)
+    b.next(stall, Const(0, 1))
+
+    do_mret = b.wire_expr(
+        "do_mret",
+        issue_valid.logical_and(opcode.eq(Const(OP_MRET, 4)))
+        .logical_and(exception_now.logical_not()))
+    do_jump = b.wire_expr(
+        "do_jump",
+        issue_valid.logical_and(opcode.eq(Const(OP_JUMP, 4)))
+        .logical_and(exception_now.logical_not()))
+    do_csrw = b.wire_expr(
+        "do_csrw",
+        issue_valid.logical_and(opcode.eq(Const(OP_CSRW_MTVEC, 4)))
+        .logical_and(exception_now.logical_not()))
+    retire = b.wire_expr(
+        "retire", issue_valid.logical_and(exception_now.logical_not()))
+
+    # Trap: mepc <- pc, mcause <- code, MPIE <- MIE, MIE <- 0, pc <- mtvec.
+    cause = b.wire_expr("cause", mux(
+        fetch_fault, Const(CAUSE_INSTR_FAULT, 64), Const(CAUSE_ECALL, 64)))
+    b.next(mepc, mux(exception_now, pc, mepc))
+    b.next(mcause, mux(exception_now, cause, mcause))
+    b.next(mpie, mux(exception_now, mie,
+                     mux(do_mret, Const(1, 1), mpie)))
+    b.next(mie, mux(exception_now, Const(0, 1),
+                    mux(do_mret, mpie, mie)))
+    b.assign(pc_next, mux(
+        reset, Const(0, 64),
+        mux(exception_now, mtvec,
+            mux(do_mret, mepc,
+                mux(do_jump, imm,
+                    mux(retire, pc + Const(1, 64), pc))))))
+    b.next(pc, b.sig("pc_next"))
+    b.next(mtvec, mux(do_csrw, imm, mtvec))
+    b.next(acc, mux(
+        retire.logical_and(opcode.eq(Const(OP_ADD, 4))),
+        acc + imm, acc))
+    b.next(instret, mux(retire, instret + Const(1, 64), instret))
+
+    b.next(id_op, opcode)
+    b.next(id_imm, imm)
+    b.next(id_pc, pc)
+    b.next(ex_op, id_op)
+    b.next(ex_result, acc)
+    b.next(mem_op, ex_op)
+    b.next(wb_op, mem_op)
+
+    # Architectural register file (CVA6's is flop-based; ours maps to
+    # LUTRAM — same visibility to the debugger either way).
+    rf = b.memory("rf", 64, 16)
+    rd_index = b.wire_expr("rd_index", id_imm[3:0])
+    rf_out = b.read_port(rf, "rf_out", rd_index, sync=False)
+    b.write_port(rf, rd_index, ex_result,
+                 ex_valid.logical_and(ex_op.eq(Const(OP_STORE, 4))))
+
+    b.output_expr("pc_out", pc)
+    b.output_expr("mepc_out", mepc)
+    b.output_expr("mcause_out", mcause)
+    b.output_expr("exception_out", exception)
+    b.output_expr("acc_out", acc)
+    b.output_expr("instret_out", instret)
+    b.output_expr("rf_probe", rf_out[7:0])
+
+    for lane in range(ballast_lanes):
+        lane_reg = b.reg(f"eu{lane}", 32)
+        value = lane_reg
+        for stage in range(4):
+            rot = cat(value[15:0], value[31:16])
+            value = b.wire_expr(
+                f"eu{lane}_s{stage}",
+                (value ^ rot) + Const(0x9E3779B9 + lane * 7 + stage, 32))
+        b.next(lane_reg, value ^ pc[31:0])
+    if ballast_lanes:
+        b.output_expr("eu_probe", b.sig("eu0")[0])
+
+    if attach_assertions:
+        for text in ARIANE_ASSERTIONS:
+            if "$isunknown" not in text:
+                b.assertion(text)
+    return b.build()
+
+
+def hang_program() -> tuple:
+    """The case-study-2 software bug: point mtvec at an unmapped address,
+    then take an exception. The handler address itself faults, so the
+    core nests exceptions forever."""
+    return (
+        (0, (0x1F0 << 8) | OP_CSRW_MTVEC),  # mtvec <- 0x1F0 (unmapped!)
+        (1, (5 << 8) | OP_ADD),
+        (2, OP_ECALL),                       # trap -> fetch 0x1F0 -> fault
+        (3, (1 << 8) | OP_ADD),
+    )
+
+
+def healthy_program() -> tuple:
+    """A well-behaved program: handler at 0x80 returns via mret."""
+    return (
+        (0, (0x80 << 8) | OP_CSRW_MTVEC),
+        (1, (5 << 8) | OP_ADD),
+        (2, OP_ECALL),
+        (3, (7 << 8) | OP_ADD),
+        (4, (1 << 8) | OP_JUMP),  # loop back to address 1
+        # handler:
+        (0x80, (1 << 8) | OP_ADD),
+        (0x81, OP_MRET),
+    )

@@ -1,0 +1,227 @@
+"""Beehive-style hardware network stack (paper case study 3).
+
+An AXI-stream packet pipeline running at 250 MHz: MAC ingress (with the
+XGMII-style ``err`` sideband Section 6.2 discusses), the frame-drop queue
+that sheds whole frames when the consumer stalls (required for correct
+function regardless of Zoomie — and the boundary behind which pausing is
+safe), a header parser, a checksum stage, and an application counter.
+
+Every stage boundary is a declared decoupled interface so the Debug
+Controller can interpose pause buffers and the debugger can set AXI
+transaction breakpoints. Logic is kept shallow (a few LUT levels) so the
+stack closes timing at 250 MHz with Zoomie attached, as in the paper.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..interfaces.decoupled import add_decoupled_sink, add_decoupled_source
+from ..rtl.builder import ModuleBuilder
+from ..rtl.expr import Const, cat, mux
+from ..rtl.module import Module
+
+#: Stream beat: {last(1), err(1), data(16)}.
+BEAT_BITS = 18
+DATA_BITS = 16
+
+#: Drop queue capacity in beats.
+QUEUE_DEPTH = 4
+
+
+@lru_cache(maxsize=None)
+def make_mac_rx() -> Module:
+    """MAC ingress: re-times the PHY beats onto the stream.
+
+    The PHY side (``phy_*``) cannot backpressure — high-speed interfaces
+    do not support clock gating (Section 6.2) — so the MAC simply
+    forwards, marking ``err`` through.
+    """
+    b = ModuleBuilder("mac_rx")
+    phy_valid = b.input("phy_valid", 1)
+    phy_data = b.input("phy_data", DATA_BITS)
+    phy_last = b.input("phy_last", 1)
+    phy_err = b.input("phy_err", 1)
+    out_valid, out_ready, out_data = add_decoupled_source(
+        b, "rx", BEAT_BITS)
+    beat = b.reg("beat", BEAT_BITS)
+    have = b.reg("have", 1)
+    b.next(beat, mux(phy_valid, cat(phy_last, phy_err, phy_data), beat))
+    b.next(have, phy_valid)
+    b.assign(out_valid, have)
+    b.assign(out_data, beat)
+    return b.build()
+
+
+@lru_cache(maxsize=None)
+def make_drop_queue(depth: int = QUEUE_DEPTH) -> Module:
+    """Frame-drop queue: drops *whole frames* when the consumer stalls.
+
+    Runs in the MAC-PHY clock domain; Zoomie can debug everything after
+    this queue (Section 6.2).
+    """
+    b = ModuleBuilder("drop_queue")
+    in_valid, in_ready, in_data = add_decoupled_sink(b, "enq", BEAT_BITS)
+    out_valid, out_ready, out_data = add_decoupled_source(
+        b, "deq", BEAT_BITS)
+
+    count_width = max(1, depth.bit_length())
+    count = b.reg("count", count_width)
+    dropping = b.reg("dropping", 1)
+    drops = b.reg("dropped_frames", 16)
+    slots = [b.reg(f"slot{i}", BEAT_BITS) for i in range(depth)]
+
+    full = b.wire_expr("full", count.eq(Const(depth, count_width)))
+    empty = b.wire_expr("empty", count.eq(Const(0, count_width)))
+    last_bit = b.wire_expr("last_bit", in_data[BEAT_BITS - 1])
+
+    # Accept when not full and not inside a dropped frame; once a beat of
+    # a frame is dropped, the whole rest of the frame is too.
+    start_drop = b.wire_expr(
+        "start_drop",
+        in_valid.logical_and(full).logical_and(dropping.logical_not()))
+    enq_fire = b.wire_expr(
+        "enq_fire",
+        in_valid.logical_and(full.logical_not())
+        .logical_and(dropping.logical_not()))
+    deq_fire = b.wire_expr(
+        "deq_fire", empty.logical_not().logical_and(out_ready))
+    b.assign(in_ready, full.logical_not().logical_and(
+        dropping.logical_not()))
+    b.next(dropping, mux(
+        start_drop, Const(1, 1),
+        mux(in_valid.logical_and(last_bit), Const(0, 1), dropping)))
+    b.next(drops, mux(start_drop, drops + Const(1, 16), drops))
+
+    one = Const(1, count_width)
+    inc = enq_fire.logical_and(deq_fire.logical_not())
+    dec = deq_fire.logical_and(enq_fire.logical_not())
+    b.next(count, mux(inc, count + one, mux(dec, count - one, count)))
+    for index, slot in enumerate(slots):
+        shifted = slots[index + 1] if index + 1 < depth else slot
+        after = mux(deq_fire, shifted, slot)
+        tail_here = mux(
+            deq_fire,
+            count.eq(Const(index + 1, count_width)),
+            count.eq(Const(index, count_width)))
+        write = enq_fire.logical_and(tail_here.as_bool())
+        b.next(slot, mux(write, in_data, after))
+    b.assign(out_valid, empty.logical_not())
+    b.assign(out_data, slots[0])
+    b.output_expr("drop_count", drops)
+    b.assertion(
+        "dq_count: assert property (@(posedge clk) "
+        f"count <= {depth});")
+    return b.build()
+
+
+@lru_cache(maxsize=None)
+def make_parser() -> Module:
+    """Header parser: classifies the first beat of each frame."""
+    b = ModuleBuilder("pkt_parser")
+    in_valid, in_ready, in_data = add_decoupled_sink(b, "in", BEAT_BITS)
+    out_valid, out_ready, out_data = add_decoupled_source(
+        b, "out", BEAT_BITS)
+    in_frame = b.reg("in_frame", 1)
+    is_ipv4 = b.reg("is_ipv4", 1)
+    seen = b.reg("frames_seen", 16)
+    fire = b.wire_expr("fire", in_valid.logical_and(out_ready))
+    last = b.wire_expr("last", in_data[BEAT_BITS - 1])
+    first_beat = b.wire_expr("first_beat",
+                             fire.logical_and(in_frame.logical_not()))
+    b.next(in_frame, mux(
+        fire, mux(last, Const(0, 1), Const(1, 1)), in_frame))
+    b.next(is_ipv4, mux(
+        first_beat, in_data[11:8].eq(Const(4, 4)), is_ipv4))
+    b.next(seen, mux(first_beat, seen + Const(1, 16), seen))
+    b.assign(in_ready, out_ready)
+    b.assign(out_valid, in_valid)
+    b.assign(out_data, in_data)
+    b.output_expr("frames_parsed", seen)
+    b.output_expr("classified_ipv4", is_ipv4)
+    return b.build()
+
+
+@lru_cache(maxsize=None)
+def make_checksum() -> Module:
+    """Running ones'-complement checksum over frame payloads."""
+    b = ModuleBuilder("checksum")
+    in_valid, in_ready, in_data = add_decoupled_sink(b, "in", BEAT_BITS)
+    out_valid, out_ready, out_data = add_decoupled_source(
+        b, "out", BEAT_BITS)
+    acc = b.reg("csum", 17)
+    fire = b.wire_expr("fire", in_valid.logical_and(out_ready))
+    last = b.wire_expr("last", in_data[BEAT_BITS - 1])
+    data = cat(Const(0, 1), in_data[DATA_BITS - 1:0])
+    folded = b.wire_expr("folded", acc + data)
+    b.next(acc, mux(fire, mux(last, Const(0, 17), folded), acc))
+    b.assign(in_ready, out_ready)
+    b.assign(out_valid, in_valid)
+    b.assign(out_data, in_data)
+    b.output_expr("csum_out", acc[15:0])
+    return b.build()
+
+
+@lru_cache(maxsize=None)
+def make_app() -> Module:
+    """Application endpoint: counts delivered frames and error beats."""
+    b = ModuleBuilder("net_app")
+    in_valid, in_ready, in_data = add_decoupled_sink(b, "in", BEAT_BITS)
+    frames = b.reg("frames_delivered", 16)
+    errors = b.reg("error_beats", 16)
+    accept = b.input("app_ready", 1)
+    fire = b.wire_expr("fire", in_valid.logical_and(accept))
+    last = b.wire_expr("last", in_data[BEAT_BITS - 1])
+    err = b.wire_expr("err", in_data[BEAT_BITS - 2])
+    b.assign(in_ready, accept)
+    b.next(frames, mux(fire.logical_and(last),
+                       frames + Const(1, 16), frames))
+    b.next(errors, mux(fire.logical_and(err),
+                       errors + Const(1, 16), errors))
+    b.output_expr("frame_count", frames)
+    b.output_expr("error_count", errors)
+    return b.build()
+
+
+@lru_cache(maxsize=None)
+def make_beehive_stack() -> Module:
+    """The composed RX path: MAC -> drop queue -> parser -> csum -> app."""
+    b = ModuleBuilder("beehive")
+    phy_valid = b.input("phy_valid", 1)
+    phy_data = b.input("phy_data", DATA_BITS)
+    phy_last = b.input("phy_last", 1)
+    phy_err = b.input("phy_err", 1)
+    app_ready = b.input("app_ready", 1)
+
+    mac = b.instantiate(make_mac_rx(), "mac", inputs={
+        "phy_valid": phy_valid, "phy_data": phy_data,
+        "phy_last": phy_last, "phy_err": phy_err,
+        "rx_ready": b.wire("q_in_ready", 1),
+    })
+    queue = b.instantiate(make_drop_queue(), "dropq", inputs={
+        "enq_valid": mac["rx_valid"],
+        "enq_data": mac["rx_data"],
+        "deq_ready": b.wire("parser_ready", 1),
+    }, outputs={"enq_ready": "q_in_ready"})
+    parser = b.instantiate(make_parser(), "parser", inputs={
+        "in_valid": queue["deq_valid"],
+        "in_data": queue["deq_data"],
+        "out_ready": b.wire("csum_ready", 1),
+    }, outputs={"in_ready": "parser_ready"})
+    csum = b.instantiate(make_checksum(), "csum", inputs={
+        "in_valid": parser["out_valid"],
+        "in_data": parser["out_data"],
+        "out_ready": b.wire("app_in_ready", 1),
+    }, outputs={"in_ready": "csum_ready"})
+    app = b.instantiate(make_app(), "app", inputs={
+        "in_valid": csum["out_valid"],
+        "in_data": csum["out_data"],
+        "app_ready": app_ready,
+    }, outputs={"in_ready": "app_in_ready"})
+
+    b.output_expr("frames", app["frame_count"])
+    b.output_expr("errors", app["error_count"])
+    b.output_expr("drops", queue["drop_count"])
+    b.output_expr("parsed", parser["frames_parsed"])
+    b.output_expr("csum", csum["csum_out"])
+    return b.build()

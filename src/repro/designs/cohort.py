@@ -1,0 +1,251 @@
+"""Cohort-style heterogeneous accelerator SoC with the real MMU bug.
+
+Reproduces the paper's running example (Section 2.2) and case study 1
+(Section 5.5): a multi-module SoC — accelerator datapath, load-store unit
+with load/store queues, MMU/TLB, and system bus — where the MMU's
+response handshake drops the requester-id term::
+
+    assign ack = tlb_sel_r == i & id == i;   // correct
+    assign ack = tlb_sel_r == i;             // the shipped bug
+
+With the bug, translation responses for the *store* channel come back
+tagged for the load channel; the store queue waits forever, the LSU
+stops feeding the datapath, and the accelerator "returns part of the
+result before hanging indefinitely" — the exact observable the case
+study debugs.
+
+Build with ``make_cohort_soc(with_bug=True)`` (default) for the broken
+SoC or ``with_bug=False`` for the fix.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..interfaces.decoupled import add_decoupled_sink, add_decoupled_source
+from ..rtl.builder import ModuleBuilder
+from ..rtl.expr import Const, cat, mux
+from ..rtl.module import Module
+
+#: Requester ids on the MMU's translation channel.
+ID_LOAD = 0
+ID_STORE = 1
+
+#: TLB lookup latency in cycles.
+TLB_LATENCY = 2
+
+
+@lru_cache(maxsize=None)
+def make_mmu(with_bug: bool = True) -> Module:
+    """MMU with a two-requester TLB lookup port.
+
+    Request: ``req_valid``/``req_ready``/``req_data`` where data =
+    ``{id(1), vpn(15)}``. Response: ``resp_valid``/``resp_data`` where
+    data = ``{id(1), ppn(15)}``; the requester matches on id.
+    """
+    b = ModuleBuilder("mmu_buggy" if with_bug else "mmu")
+    req_valid, req_ready, req_data = add_decoupled_sink(b, "req", 16)
+    resp_valid, resp_ready, resp_data = add_decoupled_source(b, "resp", 16)
+
+    busy = b.reg("busy", 1)
+    counter = b.reg("counter", 2)
+    tlb_sel_r = b.reg("tlb_sel_r", 1)   # the id being served (latched)
+    vpn_r = b.reg("vpn_r", 15)
+    responding = b.reg("responding", 1)
+
+    accept = b.wire_expr(
+        "accept", req_valid.logical_and(
+            busy.logical_not()).logical_and(responding.logical_not()))
+    lookup_done = b.wire_expr(
+        "lookup_done",
+        busy.logical_and(counter.eq(Const(TLB_LATENCY - 1, 2))))
+    resp_fire = b.wire_expr(
+        "resp_fire", responding.logical_and(resp_ready))
+
+    b.assign(req_ready, busy.logical_not().logical_and(
+        responding.logical_not()))
+    b.next(busy, mux(accept, Const(1, 1),
+                     mux(lookup_done, Const(0, 1), busy)))
+    b.next(counter, mux(busy, counter + Const(1, 2), Const(0, 2)))
+    b.next(tlb_sel_r, mux(accept, req_data[15], tlb_sel_r))
+    b.next(vpn_r, mux(accept, req_data[14:0], vpn_r))
+    b.next(responding, mux(lookup_done, Const(1, 1),
+                           mux(resp_fire, Const(0, 1), responding)))
+
+    # Translation: a toy page table (vpn ^ mask).
+    ppn = b.wire_expr("ppn", vpn_r ^ Const(0x2A5A, 15))
+    # The response's id field. Correct hardware propagates the latched
+    # requester id; the bug omits the id term and hardwires the ack to
+    # requester 0 — the paper's highlighted missing "& id == i".
+    if with_bug:
+        resp_id = b.wire_expr("resp_id", Const(ID_LOAD, 1))
+    else:
+        resp_id = b.wire_expr("resp_id", tlb_sel_r)
+    b.assign(resp_valid, responding)
+    b.assign(resp_data, cat(resp_id, ppn))
+    return b.build()
+
+
+@lru_cache(maxsize=None)
+def make_system_bus() -> Module:
+    """Memory bus: answers every request after one cycle."""
+    b = ModuleBuilder("system_bus")
+    req_valid, req_ready, req_data = add_decoupled_sink(b, "mem", 16)
+    resp_valid, resp_ready, resp_data = add_decoupled_source(
+        b, "memresp", 16)
+    pending = b.reg("pending", 1)
+    held = b.reg("held", 16)
+    fire_in = b.wire_expr(
+        "fire_in", req_valid.logical_and(pending.logical_not()))
+    fire_out = b.wire_expr(
+        "fire_out", pending.logical_and(resp_ready))
+    b.assign(req_ready, pending.logical_not())
+    b.next(pending, mux(fire_in, Const(1, 1),
+                        mux(fire_out, Const(0, 1), pending)))
+    b.next(held, mux(fire_in, req_data, held))
+    b.assign(resp_valid, pending)
+    b.assign(resp_data, held ^ Const(0x1111, 16))
+    b.output_expr("bus_req_count", _event_counter(b, "reqs", fire_in))
+    return b.build()
+
+
+def _event_counter(b: ModuleBuilder, name: str, event) -> object:
+    reg = b.reg(f"{name}_count", 16)
+    b.next(reg, mux(event, reg + Const(1, 16), reg))
+    return reg
+
+
+@lru_cache(maxsize=None)
+def make_lsu() -> Module:
+    """Load-store unit: alternates load/store translation requests.
+
+    Each queue tracks one outstanding translation; a response is consumed
+    only when its id matches. With the buggy MMU, the store queue's
+    response never arrives (always tagged load) and the LSU wedges.
+    """
+    b = ModuleBuilder("lsu")
+    # Upstream: translation channel to the MMU.
+    tr_valid, tr_ready, tr_data = add_decoupled_source(b, "trans", 16)
+    tresp_valid, tresp_ready, tresp_data = add_decoupled_sink(
+        b, "transresp", 16)
+    # Downstream: translated data words to the datapath.
+    out_valid, out_ready, out_data = add_decoupled_source(b, "work", 16)
+
+    turn = b.reg("turn", 1)            # which queue issues next
+    load_pending = b.reg("load_pending", 1)
+    store_pending = b.reg("store_pending", 1)
+    next_vpn = b.reg("next_vpn", 15)
+    result = b.reg("result", 16)
+    have_result = b.reg("have_result", 1)
+    issued = b.reg("issued_count", 16)
+    completed = b.reg("completed_count", 16)
+
+    can_issue = b.wire_expr(
+        "can_issue",
+        mux(turn, store_pending.logical_not(),
+            load_pending.logical_not()).as_bool())
+    issue_fire = b.wire_expr(
+        "issue_fire", can_issue.logical_and(tr_ready))
+    b.assign(tr_valid, can_issue)
+    b.assign(tr_data, cat(turn, next_vpn))
+
+    resp_id = b.wire_expr("resp_id", tresp_data[15])
+    resp_matches = b.wire_expr(
+        "resp_matches",
+        tresp_valid.logical_and(
+            mux(resp_id, store_pending, load_pending).as_bool()))
+    b.assign(tresp_ready, resp_matches)
+
+    b.next(turn, mux(issue_fire, ~turn, turn))
+    b.next(next_vpn, mux(issue_fire, next_vpn + Const(1, 15), next_vpn))
+    b.next(load_pending, mux(
+        issue_fire.logical_and(turn.logical_not()), Const(1, 1),
+        mux(resp_matches.logical_and(resp_id.logical_not()),
+            Const(0, 1), load_pending)))
+    b.next(store_pending, mux(
+        issue_fire.logical_and(turn), Const(1, 1),
+        mux(resp_matches.logical_and(resp_id), Const(0, 1),
+            store_pending)))
+
+    consume = b.wire_expr(
+        "consume", resp_matches.logical_and(have_result.logical_not()))
+    out_fire = b.wire_expr(
+        "out_fire", have_result.logical_and(out_ready))
+    b.next(result, mux(consume, tresp_data, result))
+    b.next(have_result, mux(consume, Const(1, 1),
+                            mux(out_fire, Const(0, 1), have_result)))
+    b.assign(out_valid, have_result)
+    b.assign(out_data, result)
+    b.next(issued, mux(issue_fire, issued + Const(1, 16), issued))
+    b.next(completed, mux(out_fire, completed + Const(1, 16), completed))
+    b.output_expr("lsu_issued", issued)
+    b.output_expr("lsu_completed", completed)
+    return b.build()
+
+
+@lru_cache(maxsize=None)
+def make_datapath() -> Module:
+    """Accelerator datapath: MACs incoming words, emits running sums."""
+    b = ModuleBuilder("accel_datapath")
+    in_valid, in_ready, in_data = add_decoupled_sink(b, "work", 16)
+    acc = b.reg("acc", 32)
+    results = b.reg("results_count", 16)
+    fire = b.wire_expr("fire", in_valid)
+    b.assign(in_ready, Const(1, 1))
+    widened = cat(Const(0, 16), in_data)
+    b.next(acc, mux(fire, acc + widened, acc))
+    b.next(results, mux(fire, results + Const(1, 16), results))
+    b.output_expr("acc_out", acc)
+    b.output_expr("result_count", results)
+    b.assertion(
+        "dp_progress: assert property (@(posedge clk) "
+        "work_valid |-> work_ready);")
+    return b.build()
+
+
+@lru_cache(maxsize=None)
+def make_cohort_soc(with_bug: bool = True) -> Module:
+    """The full SoC of case study 1."""
+    mmu = make_mmu(with_bug)
+    lsu = make_lsu()
+    bus = make_system_bus()
+    datapath = make_datapath()
+
+    b = ModuleBuilder("cohort_soc" + ("_buggy" if with_bug else ""))
+    en = b.input("en", 1)
+
+    lsu_refs = b.instantiate(lsu, "lsu", inputs={
+        "trans_ready": b.wire("mmu_req_ready", 1),
+        "transresp_valid": b.wire("mmu_resp_valid", 1),
+        "transresp_data": b.wire("mmu_resp_data", 16),
+        "work_ready": b.wire("dp_ready", 1),
+    })
+    b.instantiate(mmu, "mmu", inputs={
+        "req_valid": lsu_refs["trans_valid"].logical_and(en),
+        "req_data": lsu_refs["trans_data"],
+        "resp_ready": lsu_refs["transresp_ready"],
+    }, outputs={
+        "req_ready": "mmu_req_ready",
+        "resp_valid": "mmu_resp_valid",
+        "resp_data": "mmu_resp_data",
+    })
+    dp_refs = b.instantiate(datapath, "datapath", inputs={
+        "work_valid": lsu_refs["work_valid"],
+        "work_data": lsu_refs["work_data"],
+    }, outputs={"work_ready": "dp_ready"})
+    # The system bus serves the datapath's writebacks; kept busy so the
+    # case study can probe it ("the system bus successfully responds to
+    # all requests made by the load store unit").
+    bus_refs = b.instantiate(bus, "bus", inputs={
+        "mem_valid": dp_refs["result_count"][0],
+        "mem_data": cat(dp_refs["acc_out"][7:0],
+                        dp_refs["result_count"][7:0]),
+        "memresp_ready": Const(1, 1),
+    })
+
+    b.output_expr("acc", dp_refs["acc_out"])
+    b.output_expr("results", dp_refs["result_count"])
+    b.output_expr("issued", lsu_refs["lsu_issued"])
+    b.output_expr("completed", lsu_refs["lsu_completed"])
+    b.output_expr("bus_activity", bus_refs["bus_req_count"])
+    return b.build()

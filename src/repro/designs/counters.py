@@ -1,0 +1,46 @@
+"""Small demonstration designs used by tests and examples."""
+
+from __future__ import annotations
+
+from ..interfaces.decoupled import add_decoupled_sink, add_decoupled_source
+from ..rtl.builder import ModuleBuilder
+from ..rtl.expr import Const, mux
+from ..rtl.module import Module
+
+
+def make_counter(width: int = 8, name: str = "counter") -> Module:
+    """An enabled counter with a decoupled snapshot port."""
+    b = ModuleBuilder(name)
+    en = b.input("en", 1)
+    count = b.reg("count", width)
+    b.next(count, mux(en, count + Const(1, width), count))
+    b.output_expr("out", count)
+    b.assertion(
+        f"c_bound: assert property (@(posedge clk) "
+        f"count <= {(1 << width) - 1});")
+    return b.build()
+
+
+def make_pipeline(depth: int = 4, width: int = 16,
+                  name: str = "pipeline") -> Module:
+    """A decoupled processing pipeline: each stage adds its index."""
+    b = ModuleBuilder(name)
+    in_valid, in_ready, in_data = add_decoupled_sink(b, "in", width)
+    out_valid, out_ready, out_data = add_decoupled_source(b, "out", width)
+
+    valids = [b.reg(f"v{i}", 1) for i in range(depth)]
+    datas = [b.reg(f"d{i}", width) for i in range(depth)]
+    advance = b.wire_expr(
+        "advance",
+        out_ready.logical_or(valids[-1].logical_not()))
+    b.assign(in_ready, advance)
+    for index in range(depth):
+        upstream_valid = in_valid if index == 0 else valids[index - 1]
+        upstream_data = in_data if index == 0 else datas[index - 1]
+        b.next(valids[index], mux(advance, upstream_valid, valids[index]))
+        b.next(datas[index], mux(
+            advance, upstream_data + Const(index + 1, width),
+            datas[index]))
+    b.assign(out_valid, valids[-1])
+    b.assign(out_data, datas[-1])
+    return b.build()

@@ -1,0 +1,142 @@
+"""Exception hierarchy for the Zoomie reproduction.
+
+Every package-specific error derives from :class:`ReproError` so callers can
+catch the whole family with one clause. Sub-families mirror the package
+structure: RTL construction, elaboration, simulation, SVA synthesis, the
+vendor flow, configuration/bitstream handling, and debugging.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# --------------------------------------------------------------------------
+# RTL construction and elaboration
+# --------------------------------------------------------------------------
+
+class RtlError(ReproError):
+    """Base class for RTL IR errors."""
+
+
+class WidthError(RtlError):
+    """Operand widths are inconsistent or out of range."""
+
+
+class NameConflictError(RtlError):
+    """Two design objects share a name within one scope."""
+
+
+class UnknownSignalError(RtlError, KeyError):
+    """A referenced signal does not exist in the module or netlist."""
+
+
+class ElaborationError(RtlError):
+    """Hierarchy flattening failed (missing module, port mismatch, ...)."""
+
+
+class CombinationalLoopError(RtlError):
+    """The combinational logic contains a cycle."""
+
+
+class SimulationError(ReproError):
+    """The simulator was driven into an invalid state."""
+
+
+# --------------------------------------------------------------------------
+# SVA
+# --------------------------------------------------------------------------
+
+class SvaError(ReproError):
+    """Base class for SVA handling errors."""
+
+
+class SvaSyntaxError(SvaError):
+    """The assertion text could not be parsed."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class UnsynthesizableError(SvaError):
+    """The assertion uses a feature outside the synthesizable subset.
+
+    Mirrors the paper's Table 4: local variables, asynchronous resets,
+    ``first_match``, simulation-only system functions such as
+    ``$isunknown``, and unbounded ranges are rejected with this error.
+    """
+
+    def __init__(self, message: str, feature: str = ""):
+        super().__init__(message)
+        self.feature = feature
+
+
+# --------------------------------------------------------------------------
+# FPGA device / bitstream / configuration
+# --------------------------------------------------------------------------
+
+class DeviceError(ReproError):
+    """The device model was used inconsistently."""
+
+
+class BitstreamError(ReproError):
+    """Malformed bitstream or packet stream."""
+
+
+class ConfigError(ReproError):
+    """The configuration microcontroller rejected an operation."""
+
+
+class JtagError(ReproError):
+    """JTAG ring misuse (e.g. addressing a non-existent SLR)."""
+
+
+# --------------------------------------------------------------------------
+# Vendor flow / VTI
+# --------------------------------------------------------------------------
+
+class FlowError(ReproError):
+    """A toolchain flow step failed."""
+
+
+class PlacementError(FlowError):
+    """The placer could not fit the design into the target region."""
+
+
+class RoutingError(FlowError):
+    """The router could not complete all nets."""
+
+
+class TimingError(FlowError):
+    """Static timing analysis failed to close timing."""
+
+
+class PartitionError(FlowError):
+    """Invalid VTI partition specification."""
+
+
+# --------------------------------------------------------------------------
+# Debugging
+# --------------------------------------------------------------------------
+
+class DebugError(ReproError):
+    """Base class for debugger errors."""
+
+
+class NotPausedError(DebugError):
+    """State access was attempted while the design is running."""
+
+
+class BreakpointError(DebugError):
+    """Invalid breakpoint specification."""
+
+
+class FormalError(ReproError):
+    """A bounded model check found a counterexample or was misconfigured."""
+
+    def __init__(self, message: str, trace=None):
+        super().__init__(message)
+        self.trace = trace

@@ -1,0 +1,42 @@
+"""Xilinx UltraScale+-style FPGA device model.
+
+Models the hardware substrate Zoomie runs on: multi-SLR (chiplet) devices
+with CLB/BRAM tile columns, clock regions, a configuration frame address
+space, and sparse configuration memory. Geometry and resource totals
+approximate the Alveo U200 (3 SLRs) and U250 (4 SLRs) cards the paper
+evaluates on; a small ``TEST`` device keeps unit tests fast.
+"""
+
+from .device import (
+    Column,
+    Device,
+    Slr,
+    make_test_device,
+    make_u200,
+    make_u250,
+    get_device,
+)
+from .frames import (
+    FRAME_WORDS,
+    BLOCK_MAIN,
+    BLOCK_BRAM,
+    ConfigMemory,
+    FrameAddress,
+    FrameSpace,
+)
+
+__all__ = [
+    "BLOCK_BRAM",
+    "BLOCK_MAIN",
+    "Column",
+    "ConfigMemory",
+    "Device",
+    "FRAME_WORDS",
+    "FrameAddress",
+    "FrameSpace",
+    "Slr",
+    "get_device",
+    "make_test_device",
+    "make_u200",
+    "make_u250",
+]

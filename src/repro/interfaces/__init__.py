@@ -1,0 +1,41 @@
+"""Latency-insensitive interface support.
+
+Zoomie's safe pause/resume hinges on *decoupled* (ready/valid) interfaces:
+the Debug Controller interposes pause buffers on every decoupled interface
+crossing the module-under-test boundary (paper Section 3.1). This package
+provides:
+
+- :mod:`~repro.interfaces.decoupled`: interface declarations attached to
+  modules so tooling can find interposition points;
+- :mod:`~repro.interfaces.wire_sorts`: the Wire Sorts classification
+  (Christensen et al., PLDI 2021) the paper cites for deciding where a pause
+  buffer applies safely;
+- :mod:`~repro.interfaces.monitor`: runtime protocol checkers that detect
+  the Figure 3 violation (spurious handshakes caused by gating one side);
+- :mod:`~repro.interfaces.pause_buffer`: the pause buffer RTL generator.
+"""
+
+from .decoupled import (
+    REQUESTER,
+    RESPONDER,
+    DecoupledInterface,
+    add_decoupled_sink,
+    add_decoupled_source,
+)
+from .monitor import DecoupledMonitor, Violation
+from .pause_buffer import make_pause_buffer
+from .wire_sorts import WireSort, classify_interface, composable
+
+__all__ = [
+    "REQUESTER",
+    "RESPONDER",
+    "DecoupledInterface",
+    "DecoupledMonitor",
+    "Violation",
+    "WireSort",
+    "add_decoupled_sink",
+    "add_decoupled_source",
+    "classify_interface",
+    "composable",
+    "make_pause_buffer",
+]

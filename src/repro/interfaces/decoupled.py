@@ -1,0 +1,99 @@
+"""Decoupled (ready/valid) interface declarations.
+
+A :class:`DecoupledInterface` records which module ports form one
+latency-insensitive channel. Conventions follow the common ``_valid`` /
+``_ready`` / ``_data`` suffix scheme. The declaration is metadata: the Debug
+Controller queries ``module.interfaces`` to know where pause buffers must be
+interposed, and monitors use it to find the signals to watch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ElaborationError
+from ..rtl.builder import ModuleBuilder
+from ..rtl.expr import Ref
+
+#: The module *initiates* transactions on this channel (drives valid/data).
+REQUESTER = "requester"
+#: The module *receives* transactions on this channel (drives ready).
+RESPONDER = "responder"
+
+
+@dataclass(frozen=True)
+class DecoupledInterface:
+    """One ready/valid channel on a module boundary.
+
+    ``role`` is the module's role: a REQUESTER drives ``valid``/``data`` as
+    outputs and samples ``ready``; a RESPONDER is the mirror image.
+    ``irrevocable`` declares the stronger protocol flavour the paper
+    mentions: once ``valid`` rises it must stay high until the handshake.
+    """
+
+    name: str
+    role: str
+    data_width: int
+    irrevocable: bool = False
+
+    @property
+    def valid_signal(self) -> str:
+        return f"{self.name}_valid"
+
+    @property
+    def ready_signal(self) -> str:
+        return f"{self.name}_ready"
+
+    @property
+    def data_signal(self) -> str:
+        return f"{self.name}_data"
+
+    def signal_names(self) -> tuple[str, str, str]:
+        return (self.valid_signal, self.ready_signal, self.data_signal)
+
+
+def add_decoupled_source(builder: ModuleBuilder, name: str, data_width: int,
+                         irrevocable: bool = False) -> tuple[Ref, Ref, Ref]:
+    """Declare an *output* channel (module is the requester).
+
+    Returns ``(valid, ready, data)`` refs; drive ``valid``/``data`` with
+    :meth:`ModuleBuilder.assign`, sample ``ready`` freely.
+    """
+    iface = DecoupledInterface(name=name, role=REQUESTER,
+                               data_width=data_width, irrevocable=irrevocable)
+    _register(builder, iface)
+    valid = builder.output(f"{name}_valid", 1)
+    ready = builder.input(f"{name}_ready", 1)
+    data = builder.output(f"{name}_data", data_width)
+    return valid, ready, data
+
+
+def add_decoupled_sink(builder: ModuleBuilder, name: str, data_width: int,
+                       irrevocable: bool = False) -> tuple[Ref, Ref, Ref]:
+    """Declare an *input* channel (module is the responder).
+
+    Returns ``(valid, ready, data)`` refs; sample ``valid``/``data``, drive
+    ``ready``.
+    """
+    iface = DecoupledInterface(name=name, role=RESPONDER,
+                               data_width=data_width, irrevocable=irrevocable)
+    _register(builder, iface)
+    valid = builder.input(f"{name}_valid", 1)
+    ready = builder.output(f"{name}_ready", 1)
+    data = builder.input(f"{name}_data", data_width)
+    return valid, ready, data
+
+
+def _register(builder: ModuleBuilder, iface: DecoupledInterface) -> None:
+    existing = {i.name for i in builder.module.interfaces}
+    if iface.name in existing:
+        raise ElaborationError(
+            f"{builder.module.name}: interface {iface.name!r} already "
+            f"declared")
+    builder.module.interfaces.append(iface)
+
+
+def interfaces_of(module) -> list[DecoupledInterface]:
+    """All decoupled interfaces declared on ``module``."""
+    return [i for i in module.interfaces
+            if isinstance(i, DecoupledInterface)]

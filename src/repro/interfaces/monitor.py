@@ -1,0 +1,120 @@
+"""Runtime protocol checkers for decoupled interfaces.
+
+:class:`DecoupledMonitor` observes one ready/valid channel inside a running
+simulation (on the *free-running* clock, like the external module in the
+paper's Figure 3) and records protocol violations and completed
+transactions. Comparing the sent and received transaction sequences across a
+pause is how the tests demonstrate the Figure 3 hazard — a gated ``valid``
+held high turns into spurious duplicate transactions — and that the pause
+buffer eliminates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rtl.simulator import Simulator
+
+#: Payload changed while ``valid`` was high and ``ready`` low.
+UNSTABLE_DATA = "unstable-data"
+#: ``valid`` dropped before the handshake completed (irrevocable channels).
+REVOKED_VALID = "revoked-valid"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed protocol violation."""
+
+    kind: str
+    cycle: int
+    signal: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One completed handshake."""
+
+    cycle: int
+    data: int
+
+
+class DecoupledMonitor:
+    """Watches ``(valid, ready, data)`` flat signals on one clock domain.
+
+    Parameters
+    ----------
+    simulator:
+        The running simulator.
+    valid, ready, data:
+        Flat signal names of the channel as seen at the observation point.
+    domain:
+        The clock the *observer* runs on. Sampling happens right before
+        each commit of this domain, matching what a receiving register
+        would capture.
+    irrevocable:
+        Additionally check that ``valid`` never drops without a handshake.
+    """
+
+    def __init__(self, simulator: Simulator, valid: str, ready: str,
+                 data: str, domain: str = "clk", irrevocable: bool = False):
+        self.simulator = simulator
+        self.valid = valid
+        self.ready = ready
+        self.data = data
+        self.domain = domain
+        self.irrevocable = irrevocable
+        self.violations: list[Violation] = []
+        self.transactions: list[Transaction] = []
+        self._prev: tuple[int, int, int] | None = None
+        self._attached = False
+
+    def attach(self) -> "DecoupledMonitor":
+        if not self._attached:
+            self.simulator.pre_edge_hooks.append(self._on_edge)
+            self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if self._attached:
+            self.simulator.pre_edge_hooks.remove(self._on_edge)
+            self._attached = False
+
+    def _on_edge(self, sim: Simulator, ticked: frozenset[str]) -> None:
+        if self.domain in ticked:
+            self._sample()
+
+    def _sample(self) -> None:
+        """Observe the values being latched at this edge of the domain."""
+        sim = self.simulator
+        cycle = sim.cycles(self.domain)
+        valid = sim.peek(self.valid)
+        ready = sim.peek(self.ready)
+        data = sim.peek(self.data)
+        prev = self._prev
+        if prev is not None:
+            prev_valid, prev_ready, prev_data = prev
+            stalled = prev_valid and not prev_ready
+            if stalled and valid and data != prev_data:
+                self.violations.append(Violation(
+                    kind=UNSTABLE_DATA, cycle=cycle, signal=self.data,
+                    detail=f"data changed {prev_data:#x} -> {data:#x} "
+                           f"during a stalled transfer"))
+            if stalled and not valid and self.irrevocable:
+                self.violations.append(Violation(
+                    kind=REVOKED_VALID, cycle=cycle, signal=self.valid,
+                    detail="valid dropped before the handshake completed"))
+        if valid and ready:
+            # A handshake completes at this edge.
+            self.transactions.append(Transaction(cycle=cycle, data=data))
+        self._prev = (valid, ready, data)
+
+    # -- summaries ---------------------------------------------------------
+
+    @property
+    def transaction_data(self) -> list[int]:
+        """Payloads of all completed handshakes, in order."""
+        return [t.data for t in self.transactions]
+
+    def ok(self) -> bool:
+        return not self.violations

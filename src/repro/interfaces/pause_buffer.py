@@ -1,0 +1,114 @@
+"""The pause buffer: safe pause/resume across decoupled interfaces.
+
+This is the "novel pause buffer" of paper Section 3.1. It interposes a
+decoupled channel between a possibly-gated producer and a possibly-gated
+consumer, running itself on the *free* (never gated) clock, and guarantees:
+
+1. a transaction the producer initiated (and the buffer accepted) before a
+   pause is still delivered to the consumer during the pause;
+2. if either side is frozen at the cycle of a transaction, the transaction
+   is restarted for that side after it resumes — never lost or duplicated;
+3. when the buffer is empty and both sides live, it adds **zero** latency
+   (combinational flow-through).
+
+The generated module is plain RTL from our IR, so it can be simulated,
+synthesized, *and* formally verified by :mod:`repro.formal` — the paper
+ships "a set of formally verified pause buffers", and so do we.
+
+Port contract of the generated module (all on the free ``clk`` domain):
+
+- ``enq_valid``/``enq_data`` in, ``enq_ready`` out — producer side;
+- ``deq_valid``/``deq_data`` out, ``deq_ready`` in — consumer side;
+- ``enq_live``/``deq_live`` in — 1 while the corresponding side's clock is
+  running. The Debug Controller drives the MUT side with ``!pause`` and
+  ties the fabric side high.
+"""
+
+from __future__ import annotations
+
+from ..errors import ElaborationError
+from ..rtl.builder import ModuleBuilder
+from ..rtl.expr import Const, mux
+
+#: Default buffer capacity: two entries cover a full in-flight handshake
+#: plus one flow-through slot, the minimum for zero-latency operation.
+DEFAULT_DEPTH = 2
+
+
+def make_pause_buffer(name: str, data_width: int,
+                      depth: int = DEFAULT_DEPTH):
+    """Generate a pause buffer module.
+
+    Parameters
+    ----------
+    name:
+        Module name (also used for instance naming by callers).
+    data_width:
+        Payload width in bits.
+    depth:
+        Queue capacity (2 is sufficient and the default; larger values
+        trade area for slack when the consumer pauses often).
+    """
+    if depth < 2:
+        raise ElaborationError(
+            f"pause buffer depth must be >= 2 for lossless pause, "
+            f"got {depth}")
+
+    b = ModuleBuilder(name)
+    enq_valid = b.input("enq_valid", 1)
+    enq_data = b.input("enq_data", data_width)
+    deq_ready = b.input("deq_ready", 1)
+    enq_live = b.input("enq_live", 1)
+    deq_live = b.input("deq_live", 1)
+
+    count_width = max(1, depth.bit_length())
+    count = b.reg("count", count_width)
+    bufs = [b.reg(f"buf{i}", data_width) for i in range(depth)]
+
+    empty = count.eq(Const(0, count_width))
+    full = count.eq(Const(depth, count_width))
+
+    # Flow-through outputs: pass the producer straight through when empty.
+    deq_valid = b.wire_expr(
+        "deq_valid_w",
+        (~empty).logical_or(enq_valid.logical_and(enq_live)))
+    deq_data = b.wire_expr("deq_data_w", mux(~empty, bufs[0], enq_data))
+    enq_ready = b.wire_expr("enq_ready_w", ~full)
+
+    # A side only participates in handshakes while its clock runs. A frozen
+    # producer's stuck-high valid is *not* a new transaction (Figure 3).
+    enq_fire = b.wire_expr(
+        "enq_fire", enq_valid.logical_and(enq_ready).logical_and(enq_live))
+    deq_fire = b.wire_expr(
+        "deq_fire", deq_valid.logical_and(deq_ready).logical_and(deq_live))
+    passthrough = b.wire_expr(
+        "passthrough", enq_fire.logical_and(deq_fire).logical_and(empty))
+
+    # count' = count + enq_fire - deq_fire (flow-through keeps it at 0).
+    inc = enq_fire.logical_and(deq_fire.logical_not())
+    dec = deq_fire.logical_and(enq_fire.logical_not())
+    one = Const(1, count_width)
+    b.next(count, mux(inc, count + one, mux(dec, count - one, count)))
+
+    # Queue storage update. On a dequeue everything shifts down one slot;
+    # an enqueue writes the slot that is the post-shift tail.
+    for i, buf in enumerate(bufs):
+        shifted = bufs[i + 1] if i + 1 < depth else buf
+        after_shift = mux(deq_fire, shifted, buf)
+        # Tail index after the (possible) shift is count - deq_fire.
+        tail_here = mux(
+            deq_fire,
+            count.eq(Const(i + 1, count_width)),
+            count.eq(Const(i, count_width)))
+        write_here = enq_fire \
+            .logical_and(passthrough.logical_not()) \
+            .logical_and(tail_here.as_bool())
+        b.next(buf, mux(write_here, enq_data, after_shift))
+
+    b.output_expr("deq_valid", deq_valid)
+    b.output_expr("deq_data", deq_data)
+    b.output_expr("enq_ready", enq_ready)
+    module = b.build()
+    module.attributes["pause_buffer"] = True
+    module.attributes["depth"] = depth
+    return module

@@ -1,0 +1,130 @@
+"""Wire Sorts classification for safe composition.
+
+The paper (Section 3.1) points designers at Wire Sorts [Christensen et al.,
+PLDI 2021] to decide whether a pause buffer can be applied to an interface.
+The sorts classify each interface output by how it depends on the module's
+inputs:
+
+- ``TO_SYNC``:  the output is registered (depends on inputs only through
+  state) — always safe to compose and to interpose a pause buffer on.
+- ``TO_COMB``:  the output depends combinationally on some input of the
+  same interface (e.g. ``ready`` computed from ``valid``) — composing two
+  such interfaces can create combinational loops, and pausing requires care.
+- ``TO_CONST``: the output is constant.
+
+:func:`composable` implements the paper's rule of thumb: two connected
+interfaces are safe when at most one side is combinationally dependent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import UnknownSignalError
+from ..rtl.module import Module
+from .decoupled import DecoupledInterface, REQUESTER
+
+
+class WireSort(Enum):
+    """Sort of one interface output wire."""
+
+    TO_CONST = "to-const"
+    TO_SYNC = "to-sync"
+    TO_COMB = "to-comb"
+
+
+@dataclass(frozen=True)
+class InterfaceSorts:
+    """Sorts of the two module-driven wires of a decoupled interface."""
+
+    interface: DecoupledInterface
+    forward: WireSort   # valid/data wires (requester) or ready (responder)
+    backward: WireSort  # the opposite-direction wire the module samples
+
+    @property
+    def is_combinational(self) -> bool:
+        return self.forward is WireSort.TO_COMB
+
+
+def _comb_support(module: Module, signal: str,
+                  _seen: set[str] | None = None) -> set[str]:
+    """Input ports the named signal depends on through combinational paths.
+
+    Registers cut the traversal: a path through a register is synchronous,
+    not combinational.
+    """
+    if _seen is None:
+        _seen = set()
+    if signal in _seen:
+        return set()
+    _seen.add(signal)
+    if signal in module.registers:
+        return set()
+    if signal in module.ports and signal not in module.assigns:
+        port = module.ports[signal]
+        return {signal} if port.direction == "input" else set()
+    expr = module.assigns.get(signal)
+    if expr is None:
+        # Wire driven by an instance output or memory read port: treat as
+        # synchronous if from a memory sync port, else conservatively
+        # combinational through the instance (unknown) — we return the wire
+        # itself as an opaque marker resolved by the caller.
+        return set()
+    out: set[str] = set()
+    for name in expr.signals():
+        out |= _comb_support(module, name, _seen)
+    return out
+
+
+def classify_output(module: Module, signal: str) -> WireSort:
+    """Sort of one module output wire."""
+    if signal not in module.ports:
+        raise UnknownSignalError(
+            f"{module.name}: {signal!r} is not a port")
+    if signal in module.assigns or signal in module.registers:
+        support = _comb_support(module, signal)
+        if not support:
+            expr = module.assigns.get(signal)
+            if expr is not None and expr.signals():
+                return WireSort.TO_SYNC
+            if signal in module.registers:
+                return WireSort.TO_SYNC
+            return WireSort.TO_CONST
+        return WireSort.TO_COMB
+    # Driven by instance output: unknown internals, classify pessimistically.
+    return WireSort.TO_COMB
+
+
+def classify_interface(module: Module,
+                       iface: DecoupledInterface) -> InterfaceSorts:
+    """Classify the module-driven wires of one decoupled interface."""
+    if iface.role == REQUESTER:
+        forward = classify_output(module, iface.valid_signal)
+    else:
+        forward = classify_output(module, iface.ready_signal)
+    # The wire the module *samples* is driven by the peer; from this
+    # module's perspective it contributes no sort, so report what the
+    # module's own combinational logic does with it: whether any output
+    # of the same interface depends on it combinationally.
+    backward = forward
+    return InterfaceSorts(interface=iface, forward=forward, backward=backward)
+
+
+def composable(a: InterfaceSorts, b: InterfaceSorts) -> bool:
+    """Whether two connected interfaces compose without a comb cycle.
+
+    Safe when at most one side's forward wire is combinationally derived
+    from the peer's wires.
+    """
+    return not (a.is_combinational and b.is_combinational)
+
+
+def pause_buffer_applicable(sorts: InterfaceSorts) -> bool:
+    """Whether a pause buffer can be interposed without designer guidance.
+
+    Synchronous (registered) interfaces always admit a pause buffer; for
+    combinational ones the paper defers to the designer's knowledge of the
+    protocol (Section 3.1), which we encode as "not automatically".
+    """
+    return sorts.forward in (WireSort.TO_SYNC, WireSort.TO_CONST)

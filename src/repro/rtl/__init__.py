@@ -1,0 +1,61 @@
+"""RTL intermediate representation and cycle-accurate simulator.
+
+This package is the hardware-description substrate for the Zoomie
+reproduction. Designs are built as :class:`~repro.rtl.module.Module`
+hierarchies using :class:`~repro.rtl.builder.ModuleBuilder`, elaborated to a
+flat :class:`~repro.rtl.netlist.Netlist`, and executed by
+:class:`~repro.rtl.simulator.Simulator` — a multi-clock-domain, gateable
+cycle simulator (clock gating is what lets the Debug Controller pause a
+module under test).
+"""
+
+from .expr import (
+    BinaryOp,
+    Concat,
+    Const,
+    Expr,
+    Mux,
+    Ref,
+    Repl,
+    Slice,
+    UnaryOp,
+    cat,
+    mux,
+    reduce_and,
+    reduce_or,
+    reduce_xor,
+)
+from .module import Instance, Memory, Module, Port, Register
+from .builder import ModuleBuilder
+from .flatten import elaborate
+from .netlist import Netlist
+from .simulator import Simulator
+from .waveform import Trace, write_vcd
+
+__all__ = [
+    "BinaryOp",
+    "Concat",
+    "Const",
+    "Expr",
+    "Instance",
+    "Memory",
+    "Module",
+    "ModuleBuilder",
+    "Mux",
+    "Netlist",
+    "Port",
+    "Ref",
+    "Register",
+    "Repl",
+    "Simulator",
+    "Slice",
+    "Trace",
+    "UnaryOp",
+    "cat",
+    "elaborate",
+    "mux",
+    "reduce_and",
+    "reduce_or",
+    "reduce_xor",
+    "write_vcd",
+]

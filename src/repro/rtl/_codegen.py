@@ -1,0 +1,132 @@
+"""Compile expression trees to Python closures for fast simulation.
+
+Recursive ``Expr.eval`` dominates simulation time for non-trivial designs.
+This module translates each expression into a single Python expression
+string over an environment dict ``e`` and compiles it once; the simulator
+then evaluates closures instead of walking ASTs. Semantics are identical to
+``Expr.eval`` (the test suite cross-checks them).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .._bits import mask
+from .expr import BinaryOp, Concat, Const, Expr, Mux, Ref, Repl, Slice, UnaryOp
+
+_SIGNED_CMP = {"<s": "<", ">s": ">", "<=s": "<=", ">=s": ">="}
+
+
+def _sig(name: str) -> str:
+    return f"e[{name!r}]"
+
+
+def _to_py(expr: Expr) -> str:
+    """Translate ``expr`` to a Python expression string over dict ``e``."""
+    if isinstance(expr, Const):
+        return repr(expr.value)
+    if isinstance(expr, Ref):
+        return _sig(expr.name)
+    if isinstance(expr, UnaryOp):
+        a = _to_py(expr.a)
+        width = expr.a.width
+        if expr.op == "~":
+            return f"(({a}) ^ {mask(width)})"
+        if expr.op == "!":
+            return f"(0 if ({a}) else 1)"
+        if expr.op == "-":
+            return f"((-({a})) & {mask(width)})"
+        if expr.op == "r&":
+            return f"(1 if ({a}) == {mask(width)} else 0)"
+        if expr.op == "r|":
+            return f"(1 if ({a}) else 0)"
+        # r^
+        return f"(({a}).bit_count() & 1)"
+    if isinstance(expr, BinaryOp):
+        a = _to_py(expr.a)
+        b = _to_py(expr.b)
+        op = expr.op
+        width = expr.width
+        if op in ("+", "-", "*"):
+            return f"((({a}) {op} ({b})) & {mask(width)})"
+        if op in ("&", "|", "^"):
+            return f"(({a}) {op} ({b}))"
+        if op == "<<":
+            return (f"(((({a}) << ({b})) & {mask(width)}) "
+                    f"if ({b}) < {width} else 0)")
+        if op == ">>":
+            return f"((({a}) >> ({b})) if ({b}) < {width} else 0)"
+        if op == ">>>":
+            in_width = expr.a.width
+            sign = 1 << (in_width - 1)
+            return (f"((((({a}) - {1 << in_width}) if (({a}) & {sign}) "
+                    f"else ({a})) >> min(({b}), {in_width})) "
+                    f"& {mask(width)})")
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            return f"(1 if ({a}) {op} ({b}) else 0)"
+        if op == "&&":
+            return f"(1 if (({a}) and ({b})) else 0)"
+        if op == "||":
+            return f"(1 if (({a}) or ({b})) else 0)"
+        if op in _SIGNED_CMP:
+            in_width = expr.a.width
+            sign = 1 << (in_width - 1)
+            full = 1 << in_width
+            signed_a = f"((({a}) - {full}) if (({a}) & {sign}) else ({a}))"
+            signed_b = f"((({b}) - {full}) if (({b}) & {sign}) else ({b}))"
+            return f"(1 if {signed_a} {_SIGNED_CMP[op]} {signed_b} else 0)"
+        raise AssertionError(f"unhandled binary op {op!r}")
+    if isinstance(expr, Mux):
+        sel = _to_py(expr.sel)
+        t = _to_py(expr.if_true)
+        f = _to_py(expr.if_false)
+        return f"(({t}) if ({sel}) else ({f}))"
+    if isinstance(expr, Slice):
+        a = _to_py(expr.a)
+        if expr.low == 0:
+            return f"(({a}) & {mask(expr.width)})"
+        return f"((({a}) >> {expr.low}) & {mask(expr.width)})"
+    if isinstance(expr, Concat):
+        out = None
+        for part in expr.parts:
+            piece = f"(({_to_py(part)}) & {mask(part.width)})"
+            if out is None:
+                out = piece
+            else:
+                out = f"(({out}) << {part.width} | {piece})"
+        return out or "0"
+    if isinstance(expr, Repl):
+        a = _to_py(expr.a)
+        width = expr.a.width
+        out = None
+        for _ in range(expr.times):
+            piece = f"({a})"
+            if out is None:
+                out = piece
+            else:
+                out = f"(({out}) << {width} | {piece})"
+        return out or "0"
+    raise AssertionError(f"unhandled expression node {type(expr).__name__}")
+
+
+def compile_expr(expr: Expr) -> Callable[[dict[str, int]], int]:
+    """Compile one expression into ``fn(env) -> int``."""
+    code = compile(_to_py(expr), "<rtl-expr>", "eval")
+    return lambda e: eval(code, {"min": min}, {"e": e})  # noqa: S307
+
+
+def compile_assign_block(assigns: list[tuple[str, Expr]]) -> Callable[[dict[str, int]], None]:
+    """Compile an ordered assign list into one settle function.
+
+    Generating a single function body avoids per-assign call overhead; the
+    block executes assignments in the provided (topological) order.
+    """
+    lines = ["def _settle(e):"]
+    if not assigns:
+        lines.append("    pass")
+    for name, expr in assigns:
+        lines.append(f"    e[{name!r}] = {_to_py(expr)}")
+    source = "\n".join(lines)
+    namespace: dict = {"min": min}
+    exec(compile(source, "<rtl-settle>", "exec"), namespace)  # noqa: S102
+    return namespace["_settle"]

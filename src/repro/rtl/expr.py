@@ -1,0 +1,515 @@
+"""Typed combinational expression AST.
+
+Expressions are immutable trees over named signals. Every node carries an
+explicit bit width; arithmetic is unsigned two's complement truncated to the
+node width, matching the synthesizable Verilog semantics the paper's designs
+rely on. Python operators are overloaded so design code reads naturally::
+
+    ack = (tlb_sel_r == i) & (req_id == i)
+
+Evaluation takes an environment mapping signal names to ints and is used by
+the RTL simulator, the SVA software evaluator, and the bounded model checker.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from .._bits import bits as _slice_bits
+from .._bits import mask, replicate, to_signed, truncate
+from ..errors import WidthError
+
+# Operators where both operands must share a width.
+_SAME_WIDTH_BINOPS = frozenset({
+    "+", "-", "*", "&", "|", "^",
+    "==", "!=", "<", ">", "<=", ">=",
+    "<s", ">s", "<=s", ">=s",
+})
+_SHIFT_BINOPS = frozenset({"<<", ">>", ">>>"})
+_BOOL_BINOPS = frozenset({"&&", "||"})
+_COMPARE_BINOPS = frozenset({
+    "==", "!=", "<", ">", "<=", ">=", "<s", ">s", "<=s", ">=s",
+})
+
+
+class Expr:
+    """Base class for all expression nodes.
+
+    Subclasses define ``width`` (int), :meth:`eval`, and
+    :meth:`children`. The base class provides operator overloading, free
+    signal collection, and structural substitution.
+    """
+
+    width: int
+
+    # -- interface -------------------------------------------------------
+
+    def eval(self, env: dict[str, int]) -> int:
+        """Evaluate against ``env`` (signal name -> unsigned value)."""
+        raise NotImplementedError
+
+    def children(self) -> tuple["Expr", ...]:
+        """Direct sub-expressions."""
+        raise NotImplementedError
+
+    def rebuild(self, children: tuple["Expr", ...]) -> "Expr":
+        """Recreate this node with replaced children."""
+        raise NotImplementedError
+
+    # -- generic tree utilities -------------------------------------------
+
+    def signals(self) -> set[str]:
+        """Names of all signals referenced anywhere in the tree."""
+        out: set[str] = set()
+        stack: list[Expr] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Ref):
+                out.add(node.name)
+            stack.extend(node.children())
+        return out
+
+    def substitute(self, fn: Callable[["Ref"], "Expr | None"]) -> "Expr":
+        """Return a copy with each :class:`Ref` replaced via ``fn``.
+
+        ``fn`` returns the replacement expression or ``None`` to keep the
+        reference untouched. Used by hierarchy flattening to rename signals
+        into their elaborated paths.
+        """
+        if isinstance(self, Ref):
+            replacement = fn(self)
+            return self if replacement is None else replacement
+        kids = self.children()
+        new_kids = tuple(kid.substitute(fn) for kid in kids)
+        if all(a is b for a, b in zip(kids, new_kids)):
+            return self
+        return self.rebuild(new_kids)
+
+    def walk(self) -> Iterator["Expr"]:
+        """Yield every node in the tree (pre-order)."""
+        stack: list[Expr] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children())
+
+    def node_count(self) -> int:
+        """Number of AST nodes; a proxy for logic size in cost models."""
+        return sum(1 for _ in self.walk())
+
+    # -- operator sugar ----------------------------------------------------
+
+    def __add__(self, other) -> "Expr":
+        return BinaryOp("+", self, _coerce(other, self.width))
+
+    def __sub__(self, other) -> "Expr":
+        return BinaryOp("-", self, _coerce(other, self.width))
+
+    def __mul__(self, other) -> "Expr":
+        return BinaryOp("*", self, _coerce(other, self.width))
+
+    def __and__(self, other) -> "Expr":
+        return BinaryOp("&", self, _coerce(other, self.width))
+
+    def __or__(self, other) -> "Expr":
+        return BinaryOp("|", self, _coerce(other, self.width))
+
+    def __xor__(self, other) -> "Expr":
+        return BinaryOp("^", self, _coerce(other, self.width))
+
+    def __lshift__(self, other) -> "Expr":
+        return BinaryOp("<<", self, _coerce_shift(other))
+
+    def __rshift__(self, other) -> "Expr":
+        return BinaryOp(">>", self, _coerce_shift(other))
+
+    def __invert__(self) -> "Expr":
+        return UnaryOp("~", self)
+
+    def eq(self, other) -> "Expr":
+        return BinaryOp("==", self, _coerce(other, self.width))
+
+    def ne(self, other) -> "Expr":
+        return BinaryOp("!=", self, _coerce(other, self.width))
+
+    def lt(self, other) -> "Expr":
+        return BinaryOp("<", self, _coerce(other, self.width))
+
+    def gt(self, other) -> "Expr":
+        return BinaryOp(">", self, _coerce(other, self.width))
+
+    def le(self, other) -> "Expr":
+        return BinaryOp("<=", self, _coerce(other, self.width))
+
+    def ge(self, other) -> "Expr":
+        return BinaryOp(">=", self, _coerce(other, self.width))
+
+    def slt(self, other) -> "Expr":
+        return BinaryOp("<s", self, _coerce(other, self.width))
+
+    def sgt(self, other) -> "Expr":
+        return BinaryOp(">s", self, _coerce(other, self.width))
+
+    def logical_and(self, other) -> "Expr":
+        return BinaryOp("&&", self, _coerce(other, 1))
+
+    def logical_or(self, other) -> "Expr":
+        return BinaryOp("||", self, _coerce(other, 1))
+
+    def logical_not(self) -> "Expr":
+        return UnaryOp("!", self)
+
+    def bit(self, index: int) -> "Expr":
+        """Single-bit select ``self[index]``."""
+        return Slice(self, index, index)
+
+    def __getitem__(self, item) -> "Expr":
+        if isinstance(item, slice):
+            if item.step is not None:
+                raise WidthError("strided slices are not supported")
+            high, low = item.start, item.stop
+            return Slice(self, high, low)
+        return Slice(self, item, item)
+
+    def as_bool(self) -> "Expr":
+        """Reduce to a 1-bit truth value (``|self`` unless already 1 bit)."""
+        return self if self.width == 1 else reduce_or(self)
+
+
+class Const(Expr):
+    """A literal ``width``-bit constant."""
+
+    __slots__ = ("value", "width")
+
+    def __init__(self, value: int, width: int):
+        if width <= 0:
+            raise WidthError(f"constant width must be positive, got {width}")
+        self.width = width
+        self.value = truncate(value, width)
+
+    def eval(self, env: dict[str, int]) -> int:
+        return self.value
+
+    def children(self) -> tuple[Expr, ...]:
+        return ()
+
+    def rebuild(self, children: tuple[Expr, ...]) -> Expr:
+        return self
+
+    def __repr__(self) -> str:
+        return f"{self.width}'d{self.value}"
+
+
+class Ref(Expr):
+    """A reference to a named signal."""
+
+    __slots__ = ("name", "width")
+
+    def __init__(self, name: str, width: int):
+        if width <= 0:
+            raise WidthError(f"signal width must be positive, got {width}")
+        self.name = name
+        self.width = width
+
+    def eval(self, env: dict[str, int]) -> int:
+        return env[self.name]
+
+    def children(self) -> tuple[Expr, ...]:
+        return ()
+
+    def rebuild(self, children: tuple[Expr, ...]) -> Expr:
+        return self
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class UnaryOp(Expr):
+    """Unary operators: ``~`` ``!`` ``-`` and reductions ``&`` ``|`` ``^``."""
+
+    __slots__ = ("op", "a", "width")
+
+    _OPS = frozenset({"~", "!", "-", "r&", "r|", "r^"})
+
+    def __init__(self, op: str, a: Expr):
+        if op not in self._OPS:
+            raise WidthError(f"unknown unary operator {op!r}")
+        self.op = op
+        self.a = a
+        self.width = a.width if op in ("~", "-") else 1
+
+    def eval(self, env: dict[str, int]) -> int:
+        value = self.a.eval(env)
+        op = self.op
+        if op == "~":
+            return value ^ mask(self.a.width)
+        if op == "!":
+            return 0 if value else 1
+        if op == "-":
+            return truncate(-value, self.a.width)
+        if op == "r&":
+            return 1 if value == mask(self.a.width) else 0
+        if op == "r|":
+            return 1 if value else 0
+        # r^
+        return value.bit_count() & 1
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.a,)
+
+    def rebuild(self, children: tuple[Expr, ...]) -> Expr:
+        return UnaryOp(self.op, children[0])
+
+    def __repr__(self) -> str:
+        return f"({self.op}{self.a!r})"
+
+
+class BinaryOp(Expr):
+    """Binary operators over same-width operands (plus shifts/logicals)."""
+
+    __slots__ = ("op", "a", "b", "width")
+
+    def __init__(self, op: str, a: Expr, b: Expr):
+        if op in _SAME_WIDTH_BINOPS:
+            if a.width != b.width:
+                raise WidthError(
+                    f"operator {op!r} requires equal widths, "
+                    f"got {a.width} and {b.width}")
+        elif op in _SHIFT_BINOPS:
+            pass  # shift amount width is independent
+        elif op in _BOOL_BINOPS:
+            if a.width != 1 or b.width != 1:
+                raise WidthError(
+                    f"operator {op!r} requires 1-bit operands, "
+                    f"got {a.width} and {b.width}")
+        else:
+            raise WidthError(f"unknown binary operator {op!r}")
+        self.op = op
+        self.a = a
+        self.b = b
+        if op in _COMPARE_BINOPS or op in _BOOL_BINOPS:
+            self.width = 1
+        else:
+            self.width = a.width
+
+    def eval(self, env: dict[str, int]) -> int:
+        op = self.op
+        lhs = self.a.eval(env)
+        rhs = self.b.eval(env)
+        if op == "+":
+            return truncate(lhs + rhs, self.width)
+        if op == "-":
+            return truncate(lhs - rhs, self.width)
+        if op == "*":
+            return truncate(lhs * rhs, self.width)
+        if op == "&":
+            return lhs & rhs
+        if op == "|":
+            return lhs | rhs
+        if op == "^":
+            return lhs ^ rhs
+        if op == "<<":
+            return truncate(lhs << rhs, self.width) if rhs < self.width else 0
+        if op == ">>":
+            return lhs >> rhs if rhs < self.width else 0
+        if op == ">>>":
+            signed = to_signed(lhs, self.a.width)
+            return truncate(signed >> min(rhs, self.a.width), self.width)
+        if op == "==":
+            return 1 if lhs == rhs else 0
+        if op == "!=":
+            return 1 if lhs != rhs else 0
+        if op == "<":
+            return 1 if lhs < rhs else 0
+        if op == ">":
+            return 1 if lhs > rhs else 0
+        if op == "<=":
+            return 1 if lhs <= rhs else 0
+        if op == ">=":
+            return 1 if lhs >= rhs else 0
+        if op == "&&":
+            return 1 if lhs and rhs else 0
+        if op == "||":
+            return 1 if lhs or rhs else 0
+        width = self.a.width
+        if op == "<s":
+            return 1 if to_signed(lhs, width) < to_signed(rhs, width) else 0
+        if op == ">s":
+            return 1 if to_signed(lhs, width) > to_signed(rhs, width) else 0
+        if op == "<=s":
+            return 1 if to_signed(lhs, width) <= to_signed(rhs, width) else 0
+        # >=s
+        return 1 if to_signed(lhs, width) >= to_signed(rhs, width) else 0
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.a, self.b)
+
+    def rebuild(self, children: tuple[Expr, ...]) -> Expr:
+        return BinaryOp(self.op, children[0], children[1])
+
+    def __repr__(self) -> str:
+        return f"({self.a!r} {self.op} {self.b!r})"
+
+
+class Mux(Expr):
+    """2:1 multiplexer: ``sel ? if_true : if_false``."""
+
+    __slots__ = ("sel", "if_true", "if_false", "width")
+
+    def __init__(self, sel: Expr, if_true: Expr, if_false: Expr):
+        if if_true.width != if_false.width:
+            raise WidthError(
+                f"mux arms must share a width, got {if_true.width} "
+                f"and {if_false.width}")
+        self.sel = sel
+        self.if_true = if_true
+        self.if_false = if_false
+        self.width = if_true.width
+
+    def eval(self, env: dict[str, int]) -> int:
+        if self.sel.eval(env):
+            return self.if_true.eval(env)
+        return self.if_false.eval(env)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.sel, self.if_true, self.if_false)
+
+    def rebuild(self, children: tuple[Expr, ...]) -> Expr:
+        return Mux(children[0], children[1], children[2])
+
+    def __repr__(self) -> str:
+        return f"({self.sel!r} ? {self.if_true!r} : {self.if_false!r})"
+
+
+class Slice(Expr):
+    """Inclusive bit slice ``a[high:low]`` (Verilog part-select order)."""
+
+    __slots__ = ("a", "high", "low", "width")
+
+    def __init__(self, a: Expr, high: int, low: int):
+        if not 0 <= low <= high < a.width:
+            raise WidthError(
+                f"slice [{high}:{low}] out of range for width {a.width}")
+        self.a = a
+        self.high = high
+        self.low = low
+        self.width = high - low + 1
+
+    def eval(self, env: dict[str, int]) -> int:
+        return _slice_bits(self.a.eval(env), self.high, self.low)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.a,)
+
+    def rebuild(self, children: tuple[Expr, ...]) -> Expr:
+        return Slice(children[0], self.high, self.low)
+
+    def __repr__(self) -> str:
+        return f"{self.a!r}[{self.high}:{self.low}]"
+
+
+class Concat(Expr):
+    """Concatenation ``{parts[0], parts[1], ...}`` (first part is MSB)."""
+
+    __slots__ = ("parts", "width")
+
+    def __init__(self, parts: tuple[Expr, ...]):
+        if not parts:
+            raise WidthError("cannot concatenate zero parts")
+        self.parts = tuple(parts)
+        self.width = sum(p.width for p in parts)
+
+    def eval(self, env: dict[str, int]) -> int:
+        out = 0
+        for part in self.parts:
+            out = (out << part.width) | part.eval(env)
+        return out
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.parts
+
+    def rebuild(self, children: tuple[Expr, ...]) -> Expr:
+        return Concat(children)
+
+    def __repr__(self) -> str:
+        return "{" + ", ".join(repr(p) for p in self.parts) + "}"
+
+
+class Repl(Expr):
+    """Replication ``{times{a}}``."""
+
+    __slots__ = ("a", "times", "width")
+
+    def __init__(self, a: Expr, times: int):
+        if times <= 0:
+            raise WidthError(f"replication count must be positive: {times}")
+        self.a = a
+        self.times = times
+        self.width = a.width * times
+
+    def eval(self, env: dict[str, int]) -> int:
+        return replicate(self.a.eval(env), self.a.width, self.times)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.a,)
+
+    def rebuild(self, children: tuple[Expr, ...]) -> Expr:
+        return Repl(children[0], self.times)
+
+    def __repr__(self) -> str:
+        return f"{{{self.times}{{{self.a!r}}}}}"
+
+
+# --------------------------------------------------------------------------
+# Convenience constructors
+# --------------------------------------------------------------------------
+
+def _coerce(value, width: int) -> Expr:
+    """Turn a Python int into a :class:`Const` of the expected width."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return Const(int(value), 1 if width <= 0 else width)
+    if isinstance(value, int):
+        return Const(value, width)
+    raise WidthError(f"cannot use {value!r} as an expression")
+
+
+def _coerce_shift(value) -> Expr:
+    """Coerce a shift amount, sizing constants minimally."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, int):
+        return Const(value, max(1, value.bit_length()))
+    raise WidthError(f"cannot use {value!r} as a shift amount")
+
+
+def mux(sel: Expr, if_true, if_false) -> Expr:
+    """Functional 2:1 mux helper accepting int literals for the arms."""
+    if isinstance(if_true, Expr):
+        width = if_true.width
+    elif isinstance(if_false, Expr):
+        width = if_false.width
+    else:
+        raise WidthError("at least one mux arm must be an expression")
+    return Mux(sel.as_bool(), _coerce(if_true, width), _coerce(if_false, width))
+
+
+def cat(*parts: Expr) -> Expr:
+    """Concatenate expressions, first argument most significant."""
+    return Concat(tuple(parts))
+
+
+def reduce_and(a: Expr) -> Expr:
+    """AND-reduce to one bit."""
+    return UnaryOp("r&", a)
+
+
+def reduce_or(a: Expr) -> Expr:
+    """OR-reduce to one bit."""
+    return UnaryOp("r|", a)
+
+
+def reduce_xor(a: Expr) -> Expr:
+    """XOR-reduce (parity) to one bit."""
+    return UnaryOp("r^", a)

@@ -1,0 +1,155 @@
+"""Hierarchy elaboration: :class:`Module` tree -> flat :class:`Netlist`.
+
+Signal names are prefixed with their instance path. Instances may carry a
+``clock_map`` attribute (set via :func:`set_clock_map`) renaming the child's
+clock domains — this is how the Debug Controller places the module under
+test into a separate, gateable domain.
+"""
+
+from __future__ import annotations
+
+from ..errors import ElaborationError
+from .expr import Expr, Ref
+from .module import Instance, Memory, MemoryReadPort, MemoryWritePort, Module, Register
+from .netlist import Netlist
+
+#: Instance attribute used to rename child clock domains.
+CLOCK_MAP_ATTR = "_clock_map"
+
+
+def set_clock_map(inst: Instance, mapping: dict[str, str]) -> None:
+    """Rename the child's clock domains during elaboration.
+
+    ``mapping`` maps child domain names to parent domain names, e.g.
+    ``{"clk": "mut_clk"}``.
+    """
+    setattr(inst, CLOCK_MAP_ATTR, dict(mapping))
+
+
+def _clock_map(inst: Instance) -> dict[str, str]:
+    return getattr(inst, CLOCK_MAP_ATTR, {})
+
+
+def elaborate(top: Module) -> Netlist:
+    """Flatten ``top`` and everything below it into a :class:`Netlist`."""
+    netlist = Netlist(name=top.name)
+    _flatten_into(netlist, top, prefix="", clock_map={})
+    # Top-level ports become the netlist interface.
+    for port in top.input_ports():
+        netlist.inputs.add(port.name)
+    for port in top.output_ports():
+        netlist.outputs.add(port.name)
+    netlist.validate()
+    return netlist
+
+
+def _flat(prefix: str, name: str) -> str:
+    return f"{prefix}.{name}" if prefix else name
+
+
+def _rename_expr(expr: Expr, prefix: str) -> Expr:
+    if not prefix:
+        return expr
+    return expr.substitute(lambda ref: Ref(_flat(prefix, ref.name), ref.width))
+
+
+def _map_clock(clock: str, clock_map: dict[str, str]) -> str:
+    return clock_map.get(clock, clock)
+
+
+def _flatten_into(netlist: Netlist, module: Module, prefix: str,
+                  clock_map: dict[str, str]) -> None:
+    # Declare every signal of this module level.
+    for port in module.ports.values():
+        netlist.add_signal(_flat(prefix, port.name), port.width, prefix)
+    for wire, width in module.wires.items():
+        netlist.add_signal(_flat(prefix, wire), width, prefix)
+    for reg in module.registers.values():
+        netlist.add_signal(_flat(prefix, reg.name), reg.width, prefix)
+
+    # Combinational assigns.
+    for target, expr in module.assigns.items():
+        netlist.assigns[_flat(prefix, target)] = _rename_expr(expr, prefix)
+
+    # Registers.
+    for reg in module.registers.values():
+        flat_reg = Register(
+            name=_flat(prefix, reg.name),
+            width=reg.width,
+            next=_rename_expr(reg.next, prefix) if reg.next else None,
+            init=reg.init,
+            clock=_map_clock(reg.clock, clock_map),
+            enable=_rename_expr(reg.enable, prefix) if reg.enable else None,
+            reset=_rename_expr(reg.reset, prefix) if reg.reset else None,
+            reset_value=reg.reset_value,
+        )
+        netlist.registers[flat_reg.name] = flat_reg
+
+    # Memories (read-port data wires get declared here too).
+    for memory in module.memories.values():
+        flat_ports_r = []
+        for rport in memory.read_ports:
+            # The read-data wire was already declared in the wire pass
+            # (ModuleBuilder.read_port declares it as a module wire).
+            flat_name = _flat(prefix, rport.name)
+            flat_ports_r.append(MemoryReadPort(
+                name=flat_name,
+                addr=_rename_expr(rport.addr, prefix),
+                sync=rport.sync,
+                enable=(_rename_expr(rport.enable, prefix)
+                        if rport.enable else None),
+                clock=_map_clock(rport.clock, clock_map),
+            ))
+        flat_ports_w = [
+            MemoryWritePort(
+                addr=_rename_expr(wport.addr, prefix),
+                data=_rename_expr(wport.data, prefix),
+                enable=_rename_expr(wport.enable, prefix),
+                clock=_map_clock(wport.clock, clock_map),
+            )
+            for wport in memory.write_ports
+        ]
+        flat_mem = Memory(
+            name=_flat(prefix, memory.name),
+            width=memory.width,
+            depth=memory.depth,
+            read_ports=flat_ports_r,
+            write_ports=flat_ports_w,
+            init=dict(memory.init),
+        )
+        netlist.memories[flat_mem.name] = flat_mem
+        netlist.signals[flat_mem.name] = memory.width  # container marker
+        netlist.owner[flat_mem.name] = prefix
+
+    # Assertions keep their hierarchical context for name resolution.
+    for text in module.assertions:
+        netlist.assertions.append((prefix, text))
+    for iface in module.interfaces:
+        netlist.interfaces.append((prefix, iface))
+
+    # Recurse into instances.
+    for inst in module.instances.values():
+        child_prefix = _flat(prefix, inst.name)
+        child_clock_map = {
+            child: _map_clock(parent, clock_map)
+            for child, parent in _clock_map(inst).items()
+        }
+        merged_map = dict(clock_map)
+        merged_map.update(child_clock_map)
+        _flatten_into(netlist, inst.module, child_prefix, merged_map)
+
+        # Bind child inputs: flat child port is assigned the parent expr.
+        for pname, expr in inst.inputs.items():
+            netlist.assigns[_flat(child_prefix, pname)] = \
+                _rename_expr(expr, prefix)
+        # Bind child outputs: the receiving parent wire aliases the child
+        # port, unless the port is directly driven by a child register (then
+        # the port itself already carries the value through its own assign).
+        for pname, wire in inst.outputs.items():
+            flat_wire = _flat(prefix, wire)
+            flat_port = _flat(child_prefix, pname)
+            if flat_wire in netlist.assigns:
+                raise ElaborationError(
+                    f"{flat_wire!r} driven by multiple instance outputs")
+            netlist.assigns[flat_wire] = Ref(
+                flat_port, inst.module.ports[pname].width)

@@ -1,0 +1,312 @@
+"""Hierarchical module model.
+
+A :class:`Module` owns named ports, wires, registers, memories, and child
+:class:`Instance` objects. Registers and memories are the *state elements*
+that Zoomie's readback and state-manipulation features operate on; the module
+also records :class:`~repro.interfaces.decoupled.DecoupledPort` declarations
+(via ``module.interfaces``) so the Debug Controller knows where to interpose
+pause buffers, and attached SVA assertion strings (``module.assertions``)
+for the Assertion Synthesis compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..errors import ElaborationError, NameConflictError, UnknownSignalError
+from .expr import Expr, Ref
+
+INPUT = "input"
+OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class Port:
+    """A module boundary signal."""
+
+    name: str
+    width: int
+    direction: str  # INPUT or OUTPUT
+
+    def __post_init__(self):
+        if self.direction not in (INPUT, OUTPUT):
+            raise ElaborationError(
+                f"port {self.name!r}: bad direction {self.direction!r}")
+
+
+@dataclass
+class Register:
+    """A clocked state element.
+
+    ``next`` is the D input expression; ``enable`` (optional, 1 bit) gates
+    updates; ``reset`` (optional, 1 bit, synchronous) loads ``reset_value``.
+    ``clock`` names the clock domain — gating that domain is how the Debug
+    Controller pauses a region.
+    """
+
+    name: str
+    width: int
+    next: Optional[Expr] = None
+    init: int = 0
+    clock: str = "clk"
+    enable: Optional[Expr] = None
+    reset: Optional[Expr] = None
+    reset_value: int = 0
+
+
+@dataclass
+class MemoryReadPort:
+    """A memory read port; ``sync=True`` registers the read data."""
+
+    name: str
+    addr: Expr
+    sync: bool = False
+    enable: Optional[Expr] = None
+    clock: str = "clk"
+
+
+@dataclass
+class MemoryWritePort:
+    """A memory write port (always synchronous)."""
+
+    addr: Expr
+    data: Expr
+    enable: Expr
+    clock: str = "clk"
+
+
+@dataclass
+class Memory:
+    """An addressable state array (maps to BRAM or LUTRAM on the FPGA)."""
+
+    name: str
+    width: int
+    depth: int
+    read_ports: list[MemoryReadPort] = field(default_factory=list)
+    write_ports: list[MemoryWritePort] = field(default_factory=list)
+    init: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def bits(self) -> int:
+        return self.width * self.depth
+
+
+@dataclass
+class Instance:
+    """A child module instantiation.
+
+    ``inputs`` maps child input port names to parent expressions; ``outputs``
+    maps child output port names to parent wire names that receive the value.
+    """
+
+    name: str
+    module: "Module"
+    inputs: dict[str, Expr] = field(default_factory=dict)
+    outputs: dict[str, str] = field(default_factory=dict)
+
+
+class Module:
+    """A hardware module: the unit of hierarchy, partitioning, and reuse."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.ports: dict[str, Port] = {}
+        self.wires: dict[str, int] = {}
+        self.assigns: dict[str, Expr] = {}
+        self.registers: dict[str, Register] = {}
+        self.memories: dict[str, Memory] = {}
+        self.instances: dict[str, Instance] = {}
+        # SVA assertion source strings attached to this module.
+        self.assertions: list[str] = []
+        # Decoupled interface declarations (filled by repro.interfaces).
+        self.interfaces: list = []
+        # Free-form attributes (e.g. placement constraints, DONT_TOUCH).
+        self.attributes: dict[str, object] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def _check_fresh(self, name: str) -> None:
+        if name in self.ports or name in self.wires \
+                or name in self.registers or name in self.memories:
+            raise NameConflictError(
+                f"{self.name}: signal {name!r} already defined")
+
+    def add_port(self, name: str, width: int, direction: str) -> Port:
+        self._check_fresh(name)
+        port = Port(name, width, direction)
+        self.ports[name] = port
+        return port
+
+    def add_wire(self, name: str, width: int) -> None:
+        self._check_fresh(name)
+        self.wires[name] = width
+
+    def add_assign(self, name: str, expr: Expr) -> None:
+        width = self.signal_width(name)
+        if name in self.assigns:
+            raise NameConflictError(
+                f"{self.name}: signal {name!r} already driven")
+        if name in self.ports and self.ports[name].direction != OUTPUT:
+            raise ElaborationError(
+                f"{self.name}: cannot drive input port {name!r}")
+        if name in self.registers:
+            raise ElaborationError(
+                f"{self.name}: {name!r} is a register; set its next instead")
+        if expr.width != width:
+            raise ElaborationError(
+                f"{self.name}: driving {name!r} ({width} bits) with a "
+                f"{expr.width}-bit expression")
+        self.assigns[name] = expr
+
+    def add_register(self, reg: Register) -> None:
+        self._check_fresh(reg.name)
+        self.registers[reg.name] = reg
+
+    def add_memory(self, memory: Memory) -> None:
+        self._check_fresh(memory.name)
+        self.memories[memory.name] = memory
+
+    def add_instance(self, inst: Instance) -> None:
+        if inst.name in self.instances:
+            raise NameConflictError(
+                f"{self.name}: instance {inst.name!r} already defined")
+        self.instances[inst.name] = inst
+
+    # -- queries -----------------------------------------------------------
+
+    def signal_width(self, name: str) -> int:
+        """Width of any named signal (port, wire, or register)."""
+        if name in self.ports:
+            return self.ports[name].width
+        if name in self.wires:
+            return self.wires[name]
+        if name in self.registers:
+            return self.registers[name].width
+        raise UnknownSignalError(f"{self.name}: unknown signal {name!r}")
+
+    def ref(self, name: str) -> Ref:
+        """An expression referencing the named signal."""
+        return Ref(name, self.signal_width(name))
+
+    def input_ports(self) -> list[Port]:
+        return [p for p in self.ports.values() if p.direction == INPUT]
+
+    def output_ports(self) -> list[Port]:
+        return [p for p in self.ports.values() if p.direction == OUTPUT]
+
+    def clocks(self) -> set[str]:
+        """All clock-domain names used by state elements in this module
+        (not descending into instances)."""
+        domains = {reg.clock for reg in self.registers.values()}
+        for memory in self.memories.values():
+            domains.update(port.clock for port in memory.write_ports)
+            domains.update(
+                port.clock for port in memory.read_ports if port.sync)
+        return domains
+
+    def submodules(self) -> set["Module"]:
+        """The transitive set of distinct child module definitions."""
+        seen: set[Module] = set()
+        stack = [self]
+        while stack:
+            module = stack.pop()
+            for inst in module.instances.values():
+                if inst.module not in seen:
+                    seen.add(inst.module)
+                    stack.append(inst.module)
+        return seen
+
+    def state_bit_count(self, _memo: dict | None = None) -> int:
+        """Total state bits (registers + memories) including instances.
+
+        Shared child definitions are counted once per *instance*, using a
+        memo over module identity so huge replicated designs stay cheap.
+        """
+        if _memo is None:
+            _memo = {}
+        if id(self) in _memo:
+            return _memo[id(self)]
+        total = sum(reg.width for reg in self.registers.values())
+        total += sum(mem.bits for mem in self.memories.values())
+        for inst in self.instances.values():
+            total += inst.module.state_bit_count(_memo)
+        _memo[id(self)] = total
+        return total
+
+    def instance_count(self, _memo: dict | None = None) -> int:
+        """Total number of module instances in the hierarchy (incl. self)."""
+        if _memo is None:
+            _memo = {}
+        if id(self) in _memo:
+            return _memo[id(self)]
+        total = 1 + sum(
+            inst.module.instance_count(_memo)
+            for inst in self.instances.values())
+        _memo[id(self)] = total
+        return total
+
+    def validate(self) -> None:
+        """Check structural consistency (every wire driven, ports bound)."""
+        for name in self.wires:
+            driven_by_assign = name in self.assigns
+            driven_by_inst = any(
+                name in inst.outputs.values()
+                for inst in self.instances.values())
+            driven_by_memread = any(
+                port.name == name
+                for memory in self.memories.values()
+                for port in memory.read_ports)
+            if not (driven_by_assign or driven_by_inst or driven_by_memread):
+                raise ElaborationError(
+                    f"{self.name}: wire {name!r} has no driver")
+        for port in self.output_ports():
+            driven = (
+                port.name in self.assigns
+                or port.name in self.registers
+                or any(port.name in inst.outputs.values()
+                       for inst in self.instances.values()))
+            if not driven:
+                raise ElaborationError(
+                    f"{self.name}: output {port.name!r} has no driver")
+        for inst in self.instances.values():
+            for pname in inst.module.input_ports():
+                if pname.name not in inst.inputs:
+                    raise ElaborationError(
+                        f"{self.name}.{inst.name}: input {pname.name!r} "
+                        f"not connected")
+            for pname, expr in inst.inputs.items():
+                if pname not in inst.module.ports \
+                        or inst.module.ports[pname].direction != INPUT:
+                    raise ElaborationError(
+                        f"{self.name}.{inst.name}: {pname!r} is not an "
+                        f"input of {inst.module.name!r}")
+                if expr.width != inst.module.ports[pname].width:
+                    raise ElaborationError(
+                        f"{self.name}.{inst.name}: width mismatch on "
+                        f"{pname!r}")
+            for pname, wire in inst.outputs.items():
+                if pname not in inst.module.ports \
+                        or inst.module.ports[pname].direction != OUTPUT:
+                    raise ElaborationError(
+                        f"{self.name}.{inst.name}: {pname!r} is not an "
+                        f"output of {inst.module.name!r}")
+                if self.signal_width(wire) != inst.module.ports[pname].width:
+                    raise ElaborationError(
+                        f"{self.name}.{inst.name}: width mismatch on "
+                        f"{pname!r} -> {wire!r}")
+
+    def __repr__(self) -> str:
+        return (f"Module({self.name!r}, ports={len(self.ports)}, "
+                f"regs={len(self.registers)}, insts={len(self.instances)})")
+
+
+def iter_hierarchy(top: Module) -> Iterable[tuple[str, Module]]:
+    """Yield ``(hierarchical_path, module)`` pairs, top first."""
+    stack: list[tuple[str, Module]] = [("", top)]
+    while stack:
+        path, module = stack.pop()
+        yield path, module
+        for inst in module.instances.values():
+            child_path = f"{path}.{inst.name}" if path else inst.name
+            stack.append((child_path, inst.module))

@@ -1,0 +1,140 @@
+"""Flat (elaborated) design representation.
+
+A :class:`Netlist` is what the simulator, the vendor synthesis flow, and the
+bounded model checker consume: a single namespace of signals with
+combinational assigns, registers, and memories. Names are hierarchical paths
+joined with ``.`` (``tile0.core.pc``), which is exactly the naming scheme the
+readback/state-extraction machinery matches against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from graphlib import CycleError, TopologicalSorter
+
+from ..errors import CombinationalLoopError, NameConflictError, UnknownSignalError
+from .expr import Expr
+from .module import Memory, Register
+
+
+@dataclass
+class Netlist:
+    """An elaborated, flat design."""
+
+    name: str
+    signals: dict[str, int] = field(default_factory=dict)
+    inputs: set[str] = field(default_factory=set)
+    outputs: set[str] = field(default_factory=set)
+    assigns: dict[str, Expr] = field(default_factory=dict)
+    registers: dict[str, Register] = field(default_factory=dict)
+    memories: dict[str, Memory] = field(default_factory=dict)
+    # Assertion source text with the hierarchical prefix it was found under.
+    assertions: list[tuple[str, str]] = field(default_factory=list)
+    # name -> hierarchical instance path that owns the signal ("" = top).
+    owner: dict[str, str] = field(default_factory=dict)
+    # Decoupled interface declarations with their hierarchical prefix.
+    interfaces: list[tuple[str, object]] = field(default_factory=list)
+
+    # -- construction -------------------------------------------------------
+
+    def add_signal(self, name: str, width: int, owner: str = "") -> None:
+        if name in self.signals:
+            raise NameConflictError(f"flat signal {name!r} already exists")
+        self.signals[name] = width
+        self.owner[name] = owner
+
+    def width(self, name: str) -> int:
+        try:
+            return self.signals[name]
+        except KeyError:
+            raise UnknownSignalError(f"unknown flat signal {name!r}") from None
+
+    # -- analysis -------------------------------------------------------------
+
+    def clock_domains(self) -> set[str]:
+        """All clock-domain names used by any state element."""
+        domains = {reg.clock for reg in self.registers.values()}
+        for memory in self.memories.values():
+            domains.update(p.clock for p in memory.write_ports)
+            domains.update(p.clock for p in memory.read_ports if p.sync)
+        return domains or {"clk"}
+
+    def comb_order(self) -> list[str]:
+        """Topological evaluation order for combinational assigns.
+
+        Registers and memory sync-read outputs are sequential boundaries and
+        do not create edges. Raises :class:`CombinationalLoopError` on a
+        combinational cycle, naming the signals involved.
+        """
+        sorter: TopologicalSorter = TopologicalSorter()
+        for target, expr in self.assigns.items():
+            deps = [
+                source for source in expr.signals()
+                if source in self.assigns  # only comb-driven signals order us
+            ]
+            sorter.add(target, *deps)
+        try:
+            return list(sorter.static_order())
+        except CycleError as exc:
+            raise CombinationalLoopError(
+                f"combinational loop involving {exc.args[1]}") from None
+
+    def state_elements(self) -> list[tuple[str, int]]:
+        """(name, width) of every register plus (name, bits) per memory.
+
+        This is the inventory readback exposes: "full visibility" in the
+        paper means exactly these elements.
+        """
+        out = [(name, reg.width) for name, reg in self.registers.items()]
+        out.extend((name, mem.bits) for name, mem in self.memories.items())
+        return out
+
+    def total_state_bits(self) -> int:
+        return sum(bits for _, bits in self.state_elements())
+
+    def comb_node_count(self) -> int:
+        """Total AST nodes across assigns; the synthesis cost driver."""
+        return sum(expr.node_count() for expr in self.assigns.values())
+
+    def signals_of_owner(self, prefix: str) -> list[str]:
+        """All signals owned by instances at or below ``prefix``."""
+        if not prefix:
+            return list(self.signals)
+        return [
+            name for name, owner in self.owner.items()
+            if owner == prefix or owner.startswith(prefix + ".")
+            or name == prefix or name.startswith(prefix + ".")
+        ]
+
+    def validate(self) -> None:
+        """Consistency check: every non-input signal must have a driver and
+        every expression must reference known signals."""
+        driven = set(self.assigns) | set(self.registers) | self.inputs
+        for memory in self.memories.values():
+            driven.update(port.name for port in memory.read_ports)
+        for name in self.signals:
+            if name not in driven and name not in self.memories:
+                raise UnknownSignalError(
+                    f"{self.name}: flat signal {name!r} has no driver")
+        every_expr: list[Expr] = list(self.assigns.values())
+        for reg in self.registers.values():
+            if reg.next is not None:
+                every_expr.append(reg.next)
+            if reg.enable is not None:
+                every_expr.append(reg.enable)
+            if reg.reset is not None:
+                every_expr.append(reg.reset)
+        for memory in self.memories.values():
+            for rport in memory.read_ports:
+                every_expr.append(rport.addr)
+                if rport.enable is not None:
+                    every_expr.append(rport.enable)
+            for wport in memory.write_ports:
+                every_expr.extend((wport.addr, wport.data, wport.enable))
+        known = set(self.signals)
+        for expr in every_expr:
+            missing = expr.signals() - known
+            if missing:
+                raise UnknownSignalError(
+                    f"{self.name}: expression references unknown "
+                    f"signals {sorted(missing)}")

@@ -1,0 +1,393 @@
+"""Multi-clock, gateable cycle simulator over a flat :class:`Netlist`.
+
+The simulator is the execution substrate standing in for silicon: designs
+run cycle-by-cycle, clock domains can be *gated* (frozen) exactly the way
+Zoomie's Debug Controller gates the module under test, registers and
+memories can be inspected and forced at any time (state readback and
+manipulation), and full state snapshots can be captured and restored
+(snapshot/replay debugging).
+
+Semantics per clock edge of a ticking domain set:
+
+1. settle combinational logic;
+2. sample every register's next value, every memory write, and every
+   synchronous read port (read-before-write) in the ticking domains;
+3. commit all samples simultaneously.
+
+Simultaneously-edged domains commit together so cross-domain register
+transfers behave like real synchronized flops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .._bits import truncate
+from ..errors import SimulationError, UnknownSignalError
+from ._codegen import compile_assign_block, compile_expr
+from .netlist import Netlist
+
+#: Default clock period used when none is specified (1 ns = 1 GHz).
+DEFAULT_PERIOD_PS = 1000
+
+
+@dataclass
+class ClockDomain:
+    """Bookkeeping for one clock domain."""
+
+    name: str
+    period_ps: int = DEFAULT_PERIOD_PS
+    phase_ps: int = 0
+    gated: bool = False
+    cycles: int = 0  # committed (un-gated) edges
+    edges_seen: int = 0  # all edges, including gated ones
+    next_edge_ps: int = field(init=False)
+
+    def __post_init__(self):
+        if self.period_ps <= 0:
+            raise SimulationError(
+                f"clock {self.name!r}: period must be positive")
+        self.next_edge_ps = self.phase_ps + self.period_ps
+
+
+class Simulator:
+    """Executes a :class:`Netlist`.
+
+    Parameters
+    ----------
+    netlist:
+        The elaborated design.
+    clocks:
+        Optional map of domain name to period in picoseconds. Domains used
+        by the design but not listed get :data:`DEFAULT_PERIOD_PS`.
+    compiled:
+        Use generated-code evaluation (fast) instead of AST walking.
+    """
+
+    def __init__(self, netlist: Netlist,
+                 clocks: Optional[dict[str, int]] = None,
+                 compiled: bool = True):
+        self.netlist = netlist
+        self._compiled = compiled
+        clocks = dict(clocks or {})
+        self.domains: dict[str, ClockDomain] = {}
+        for domain in sorted(netlist.clock_domains() | set(clocks)):
+            self.domains[domain] = ClockDomain(
+                name=domain, period_ps=clocks.get(domain, DEFAULT_PERIOD_PS))
+        self.time_ps = 0
+
+        # Value environment: every signal, plus memory contents separately.
+        self.env: dict[str, int] = {}
+        self.memories: dict[str, list[int]] = {}
+        for name, memory in netlist.memories.items():
+            words = [0] * memory.depth
+            for addr, value in memory.init.items():
+                words[addr] = truncate(value, memory.width)
+            self.memories[name] = words
+
+        for name in netlist.signals:
+            self.env[name] = 0
+        for name, reg in netlist.registers.items():
+            self.env[name] = truncate(reg.init, reg.width)
+
+        # Pre-compile evaluation plan.
+        order = netlist.comb_order()
+        ordered_assigns = [(n, netlist.assigns[n]) for n in order
+                           if n in netlist.assigns]
+        if compiled:
+            self._settle_fn = compile_assign_block(ordered_assigns)
+            self._reg_next = {
+                name: compile_expr(reg.next)
+                for name, reg in netlist.registers.items() if reg.next}
+            self._reg_enable = {
+                name: compile_expr(reg.enable)
+                for name, reg in netlist.registers.items() if reg.enable}
+            self._reg_reset = {
+                name: compile_expr(reg.reset)
+                for name, reg in netlist.registers.items() if reg.reset}
+            self._mem_plans = self._build_mem_plans(compile_expr)
+        else:
+            def _settle(env, _assigns=ordered_assigns):
+                for name, expr in _assigns:
+                    env[name] = expr.eval(env)
+            self._settle_fn = _settle
+            self._reg_next = {
+                name: reg.next.eval
+                for name, reg in netlist.registers.items() if reg.next}
+            self._reg_enable = {
+                name: reg.enable.eval
+                for name, reg in netlist.registers.items() if reg.enable}
+            self._reg_reset = {
+                name: reg.reset.eval
+                for name, reg in netlist.registers.items() if reg.reset}
+            self._mem_plans = self._build_mem_plans(lambda e: e.eval)
+
+        # Group registers and memory ports by domain for fast edge handling.
+        self._regs_by_domain: dict[str, list[str]] = {d: [] for d in self.domains}
+        for name, reg in netlist.registers.items():
+            self._regs_by_domain.setdefault(reg.clock, []).append(name)
+
+        self._dirty = True
+        # Post-commit hooks: fn(simulator, ticked_domains).
+        self.edge_hooks: list[Callable[["Simulator", frozenset[str]], None]] = []
+        # Pre-commit hooks: called after settling, before state commits,
+        # seeing exactly the values registers sample at this edge.
+        self.pre_edge_hooks: list[
+            Callable[["Simulator", frozenset[str]], None]] = []
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def _build_mem_plans(self, compiler):
+        """Per-domain memory port evaluation plans."""
+        plans: dict[str, list] = {}
+        for mem_name, memory in self.netlist.memories.items():
+            for wport in memory.write_ports:
+                plans.setdefault(wport.clock, []).append((
+                    "w", mem_name, compiler(wport.addr),
+                    compiler(wport.data), compiler(wport.enable),
+                    memory.depth, memory.width))
+            for rport in memory.read_ports:
+                if rport.sync:
+                    enable = compiler(rport.enable) if rport.enable else None
+                    plans.setdefault(rport.clock, []).append((
+                        "r", mem_name, compiler(rport.addr),
+                        rport.name, enable, memory.depth, memory.width))
+        return plans
+
+    # ------------------------------------------------------------------
+    # combinational settling and async reads
+    # ------------------------------------------------------------------
+
+    def _settle(self) -> None:
+        if not self._dirty:
+            return
+        # Async (combinational) memory read ports feed the settle pass, and
+        # may themselves depend on settled addresses; iterate to fixpoint.
+        # One pre-pass + settle + post-pass covers the supported patterns
+        # (addresses never combinationally depend on async read data).
+        self._apply_async_reads()
+        self._settle_fn(self.env)
+        self._apply_async_reads()
+        self._dirty = False
+
+    def _apply_async_reads(self) -> None:
+        for mem_name, memory in self.netlist.memories.items():
+            words = self.memories[mem_name]
+            for rport in memory.read_ports:
+                if rport.sync:
+                    continue
+                addr = rport.addr.eval(self.env)
+                self.env[rport.name] = words[addr] if addr < memory.depth else 0
+
+    # ------------------------------------------------------------------
+    # public value access
+    # ------------------------------------------------------------------
+
+    def poke(self, name: str, value: int) -> None:
+        """Drive a top-level input."""
+        if name not in self.netlist.inputs:
+            raise SimulationError(
+                f"{name!r} is not a top-level input; use force() for state")
+        self.env[name] = truncate(value, self.netlist.width(name))
+        self._dirty = True
+
+    def peek(self, name: str) -> int:
+        """Read any signal's settled value."""
+        if name not in self.env:
+            raise UnknownSignalError(f"unknown signal {name!r}")
+        self._settle()
+        return self.env[name]
+
+    def force(self, name: str, value: int) -> None:
+        """Overwrite a register's current value (state manipulation)."""
+        if name not in self.netlist.registers:
+            raise SimulationError(
+                f"{name!r} is not a register; poke() inputs, "
+                f"write_memory() memories")
+        self.env[name] = truncate(value, self.netlist.registers[name].width)
+        self._dirty = True
+
+    def read_memory(self, name: str, addr: int) -> int:
+        words = self._memory_words(name)
+        self._check_addr(name, addr)
+        return words[addr]
+
+    def write_memory(self, name: str, addr: int, value: int) -> None:
+        words = self._memory_words(name)
+        self._check_addr(name, addr)
+        words[addr] = truncate(value, self.netlist.memories[name].width)
+        self._dirty = True
+
+    def _memory_words(self, name: str) -> list[int]:
+        try:
+            return self.memories[name]
+        except KeyError:
+            raise UnknownSignalError(f"unknown memory {name!r}") from None
+
+    def _check_addr(self, name: str, addr: int) -> None:
+        depth = self.netlist.memories[name].depth
+        if not 0 <= addr < depth:
+            raise SimulationError(
+                f"memory {name!r}: address {addr} out of range 0..{depth - 1}")
+
+    # ------------------------------------------------------------------
+    # clocking
+    # ------------------------------------------------------------------
+
+    def set_clock_gate(self, domain: str, gated: bool) -> None:
+        """Gate (freeze) or ungate a clock domain.
+
+        Gating is glitchless by construction here: it only takes effect at
+        edge boundaries, mirroring the BUFGCE behaviour the paper relies on.
+        """
+        self._domain(domain).gated = gated
+
+    def is_gated(self, domain: str) -> bool:
+        return self._domain(domain).gated
+
+    def cycles(self, domain: str = "clk") -> int:
+        """Committed (un-gated) cycle count of a domain."""
+        return self._domain(domain).cycles
+
+    def _domain(self, name: str) -> ClockDomain:
+        try:
+            return self.domains[name]
+        except KeyError:
+            raise SimulationError(f"unknown clock domain {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+
+    def step(self, cycles: int = 1, domain: Optional[str] = None) -> None:
+        """Advance the simulation.
+
+        With ``domain``, tick only that domain ``cycles`` times (testbench
+        style). Without, advance global time over ``cycles`` edge events,
+        ticking every domain whose edge falls at each event time.
+        """
+        if cycles < 0:
+            raise SimulationError("cannot step a negative number of cycles")
+        for _ in range(cycles):
+            if domain is not None:
+                self._tick(frozenset({domain}))
+            else:
+                self._advance_one_event()
+
+    def run_to_time(self, time_ps: int) -> None:
+        """Advance global time up to and including ``time_ps``."""
+        while min(d.next_edge_ps for d in self.domains.values()) <= time_ps:
+            self._advance_one_event()
+
+    def _advance_one_event(self) -> None:
+        event_time = min(d.next_edge_ps for d in self.domains.values())
+        ticking = frozenset(
+            name for name, d in self.domains.items()
+            if d.next_edge_ps == event_time)
+        self.time_ps = event_time
+        for name in ticking:
+            dom = self.domains[name]
+            dom.next_edge_ps += dom.period_ps
+        self._tick(ticking)
+
+    def _tick(self, ticking: frozenset[str]) -> None:
+        """Apply one edge to the given domains (honouring gating)."""
+        active = []
+        for name in ticking:
+            dom = self._domain(name)
+            dom.edges_seen += 1
+            if not dom.gated:
+                active.append(name)
+                dom.cycles += 1
+        if not active:
+            return
+        self._settle()
+        ticked = frozenset(active)
+        for hook in self.pre_edge_hooks:
+            hook(self, ticked)
+        self._settle()  # hooks may poke inputs; re-settle before sampling
+        env = self.env
+        reg_updates: list[tuple[str, int]] = []
+        for domain in active:
+            for reg_name in self._regs_by_domain.get(domain, ()):
+                reg = self.netlist.registers[reg_name]
+                enable = self._reg_enable.get(reg_name)
+                if enable is not None and not enable(env):
+                    continue
+                reset = self._reg_reset.get(reg_name)
+                if reset is not None and reset(env):
+                    reg_updates.append((reg_name, reg.reset_value))
+                    continue
+                next_fn = self._reg_next.get(reg_name)
+                if next_fn is not None:
+                    reg_updates.append(
+                        (reg_name, truncate(next_fn(env), reg.width)))
+        mem_writes: list[tuple[str, int, int]] = []
+        sync_reads: list[tuple[str, int]] = []
+        for domain in active:
+            for plan in self._mem_plans.get(domain, ()):
+                kind = plan[0]
+                if kind == "w":
+                    _, mem_name, addr_fn, data_fn, en_fn, depth, width = plan
+                    if en_fn(env):
+                        addr = addr_fn(env)
+                        if addr < depth:
+                            mem_writes.append(
+                                (mem_name, addr,
+                                 truncate(data_fn(env), width)))
+                else:
+                    _, mem_name, addr_fn, out_name, en_fn, depth, _w = plan
+                    if en_fn is None or en_fn(env):
+                        addr = addr_fn(env)
+                        words = self.memories[mem_name]
+                        sync_reads.append(
+                            (out_name, words[addr] if addr < depth else 0))
+        # Commit phase.
+        for name, value in reg_updates:
+            env[name] = value
+        for mem_name, addr, value in mem_writes:
+            self.memories[mem_name][addr] = value
+        for name, value in sync_reads:
+            env[name] = value
+        self._dirty = True
+        for hook in self.edge_hooks:
+            hook(self, ticked)
+
+    # ------------------------------------------------------------------
+    # snapshot / restore (the substrate for Zoomie's snapshot debugging)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture all architectural state (registers, memories, clocks)."""
+        self._settle()
+        return {
+            "registers": {
+                name: self.env[name] for name in self.netlist.registers},
+            "memories": {
+                name: list(words) for name, words in self.memories.items()},
+            "inputs": {name: self.env[name] for name in self.netlist.inputs},
+            "time_ps": self.time_ps,
+            "cycles": {name: d.cycles for name, d in self.domains.items()},
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Restore a snapshot captured by :meth:`snapshot`."""
+        for name, value in snapshot["registers"].items():
+            if name not in self.netlist.registers:
+                raise SimulationError(
+                    f"snapshot register {name!r} not in design")
+            self.env[name] = value
+        for name, words in snapshot["memories"].items():
+            if name not in self.memories:
+                raise SimulationError(f"snapshot memory {name!r} not in design")
+            self.memories[name][:] = words
+        for name, value in snapshot["inputs"].items():
+            self.env[name] = value
+        self.time_ps = snapshot["time_ps"]
+        for name, cycles in snapshot["cycles"].items():
+            if name in self.domains:
+                self.domains[name].cycles = cycles
+        self._dirty = True

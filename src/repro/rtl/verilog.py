@@ -1,0 +1,271 @@
+"""Synthesizable Verilog-2001 export of the RTL IR.
+
+Zoomie is "HDL agnostic" (paper Section 7.7): designs enter as RTL
+regardless of source language. The reproduction's designs are built in
+the Python IR; this exporter emits them as plain synthesizable Verilog so
+they can leave the sandbox — feed a real toolchain, diff against a
+hand-written implementation, or be waveform-debugged elsewhere.
+
+Mapping:
+
+- one ``module`` per :class:`~repro.rtl.module.Module`, with an input
+  ``clk_<domain>`` port per clock domain it (or its children) uses;
+- wires/assigns map 1:1; expressions that Verilog cannot nest
+  (part-selects of computed values) get auto-named intermediate wires;
+- registers become ``always @(posedge clk_<domain>)`` blocks with
+  enable/synchronous-reset structure preserved and FPGA-style ``initial``
+  values;
+- memories become ``reg`` arrays with one write block per port and
+  continuous (async) or clocked (sync) read assigns.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+from typing import IO
+
+from ..errors import RtlError
+from .expr import (
+    BinaryOp,
+    Concat,
+    Const,
+    Expr,
+    Mux,
+    Ref,
+    Repl,
+    Slice,
+    UnaryOp,
+)
+from .flatten import CLOCK_MAP_ATTR
+from .module import Module
+
+_BINOP_VERILOG = {
+    "+": "+", "-": "-", "*": "*", "&": "&", "|": "|", "^": "^",
+    "<<": "<<", ">>": ">>",
+    "==": "==", "!=": "!=", "<": "<", ">": ">", "<=": "<=", ">=": ">=",
+    "&&": "&&", "||": "||",
+}
+_SIGNED_CMP = {"<s": "<", ">s": ">", "<=s": "<=", ">=s": ">="}
+_UNOP_VERILOG = {"~": "~", "!": "!", "-": "-",
+                 "r&": "&", "r|": "|", "r^": "^"}
+
+
+def _sanitize(name: str) -> str:
+    """Flat hierarchical names are legal Verilog only when escaped; use
+    the conventional dot-to-underscore mapping instead."""
+    return name.replace(".", "_")
+
+
+def _range(width: int) -> str:
+    return f"[{width - 1}:0] " if width > 1 else ""
+
+
+class _ExprEmitter:
+    """Renders expressions, hoisting computed part-selects into wires."""
+
+    def __init__(self):
+        self.extra_wires: list[str] = []
+        self._counter = 0
+
+    def _temp(self, expr_text: str, width: int) -> str:
+        name = f"_zv_t{self._counter}"
+        self._counter += 1
+        self.extra_wires.append(
+            f"  wire {_range(width)}{name} = {expr_text};")
+        return name
+
+    def render(self, expr: Expr) -> str:
+        if isinstance(expr, Const):
+            return f"{expr.width}'h{expr.value:x}"
+        if isinstance(expr, Ref):
+            return _sanitize(expr.name)
+        if isinstance(expr, UnaryOp):
+            return f"({_UNOP_VERILOG[expr.op]}{self.render(expr.a)})"
+        if isinstance(expr, BinaryOp):
+            if expr.op in _SIGNED_CMP:
+                return (f"($signed({self.render(expr.a)}) "
+                        f"{_SIGNED_CMP[expr.op]} "
+                        f"$signed({self.render(expr.b)}))")
+            if expr.op == ">>>":
+                return (f"($signed({self.render(expr.a)}) "
+                        f">>> {self.render(expr.b)})")
+            return (f"({self.render(expr.a)} {_BINOP_VERILOG[expr.op]} "
+                    f"{self.render(expr.b)})")
+        if isinstance(expr, Mux):
+            return (f"({self.render(expr.sel)} ? "
+                    f"{self.render(expr.if_true)} : "
+                    f"{self.render(expr.if_false)})")
+        if isinstance(expr, Slice):
+            base = expr.a
+            if isinstance(base, Ref):
+                target = _sanitize(base.name)
+            else:
+                # Verilog cannot part-select an expression.
+                target = self._temp(self.render(base), base.width)
+            if expr.high == expr.low:
+                return f"{target}[{expr.high}]"
+            return f"{target}[{expr.high}:{expr.low}]"
+        if isinstance(expr, Concat):
+            inner = ", ".join(self.render(p) for p in expr.parts)
+            return f"{{{inner}}}"
+        if isinstance(expr, Repl):
+            return f"{{{expr.times}{{{self.render(expr.a)}}}}}"
+        raise RtlError(f"cannot export expression node "
+                       f"{type(expr).__name__}")
+
+
+def _all_clock_domains(module: Module) -> list[str]:
+    """Domains used by the module or any descendant (post clock-map)."""
+    domains: set[str] = set()
+
+    def visit(mod: Module, mapping: dict[str, str]) -> None:
+        for domain in mod.clocks():
+            domains.add(mapping.get(domain, domain))
+        for inst in mod.instances.values():
+            child_map = dict(getattr(inst, CLOCK_MAP_ATTR, {}))
+            merged = {
+                child: mapping.get(parent, parent)
+                for child, parent in child_map.items()
+            }
+            visit(inst.module, merged)
+
+    visit(module, {})
+    return sorted(domains) or ["clk"]
+
+
+def export_module(module: Module, stream: IO[str]) -> None:
+    """Emit one module definition (not its children)."""
+    emitter = _ExprEmitter()
+    domains = _all_clock_domains(module)
+    clock_ports = [f"clk_{d}" for d in domains]
+    port_names = clock_ports + [
+        _sanitize(p.name) for p in module.ports.values()]
+
+    body: list[str] = []
+    for name in clock_ports:
+        body.append(f"  input wire {name};")
+    for port in module.ports.values():
+        direction = "input" if port.direction == "input" else "output"
+        body.append(
+            f"  {direction} wire {_range(port.width)}"
+            f"{_sanitize(port.name)};")
+    for wire, width in module.wires.items():
+        body.append(f"  wire {_range(width)}{_sanitize(wire)};")
+
+    # Registers: declaration + initial value + always block per domain.
+    by_domain: dict[str, list] = {}
+    for reg in module.registers.values():
+        body.append(f"  reg {_range(reg.width)}{_sanitize(reg.name)} = "
+                    f"{reg.width}'h{reg.init:x};")
+        by_domain.setdefault(reg.clock, []).append(reg)
+
+    assigns: list[str] = []
+    for target, expr in module.assigns.items():
+        assigns.append(
+            f"  assign {_sanitize(target)} = {emitter.render(expr)};")
+
+    always_blocks: list[str] = []
+    for domain in sorted(by_domain):
+        lines = [f"  always @(posedge clk_{domain}) begin"]
+        for reg in by_domain[domain]:
+            name = _sanitize(reg.name)
+            update = f"{name} <= {emitter.render(reg.next)};" \
+                if reg.next is not None else f"{name} <= {name};"
+            if reg.reset is not None:
+                update = (f"if ({emitter.render(reg.reset)}) "
+                          f"{name} <= {reg.width}'h{reg.reset_value:x}; "
+                          f"else {update}")
+            if reg.enable is not None:
+                update = f"if ({emitter.render(reg.enable)}) begin " \
+                         f"{update} end"
+            lines.append(f"    {update}")
+        lines.append("  end")
+        always_blocks.append("\n".join(lines))
+
+    # Memories.
+    memory_blocks: list[str] = []
+    for memory in module.memories.values():
+        mem_name = _sanitize(memory.name)
+        memory_blocks.append(
+            f"  reg {_range(memory.width)}{mem_name} "
+            f"[0:{memory.depth - 1}];")
+        if memory.init:
+            init_lines = ["  initial begin"]
+            for addr, value in sorted(memory.init.items()):
+                init_lines.append(
+                    f"    {mem_name}[{addr}] = "
+                    f"{memory.width}'h{value:x};")
+            init_lines.append("  end")
+            memory_blocks.append("\n".join(init_lines))
+        for rport in memory.read_ports:
+            out = _sanitize(rport.name)
+            addr = emitter.render(rport.addr)
+            if rport.sync:
+                memory_blocks.append(f"  reg {_range(memory.width)}{out}_q;")
+                guard = (f"if ({emitter.render(rport.enable)}) "
+                         if rport.enable is not None else "")
+                memory_blocks.append(
+                    f"  always @(posedge clk_{rport.clock}) "
+                    f"{guard}{out}_q <= {mem_name}[{addr}];")
+                memory_blocks.append(f"  assign {out} = {out}_q;")
+            else:
+                memory_blocks.append(
+                    f"  assign {out} = {mem_name}[{addr}];")
+        for index, wport in enumerate(memory.write_ports):
+            memory_blocks.append(
+                f"  always @(posedge clk_{wport.clock}) "
+                f"if ({emitter.render(wport.enable)}) "
+                f"{mem_name}[{emitter.render(wport.addr)}] <= "
+                f"{emitter.render(wport.data)};")
+
+    # Instances.
+    instance_blocks: list[str] = []
+    for inst in module.instances.values():
+        child_domains = _all_clock_domains(inst.module)
+        clock_map = dict(getattr(inst, CLOCK_MAP_ATTR, {}))
+        connections = [
+            f".clk_{d}(clk_{clock_map.get(d, d)})" for d in child_domains
+        ]
+        for pname, expr in inst.inputs.items():
+            connections.append(
+                f".{_sanitize(pname)}({emitter.render(expr)})")
+        for pname, wire in inst.outputs.items():
+            connections.append(f".{_sanitize(pname)}({_sanitize(wire)})")
+        instance_blocks.append(
+            f"  {_sanitize(inst.module.name)} {_sanitize(inst.name)} "
+            f"({', '.join(connections)});")
+
+    stream.write(f"module {_sanitize(module.name)} (\n")
+    stream.write(",\n".join(f"  {name}" for name in port_names))
+    stream.write("\n);\n")
+    for chunk in (body, emitter.extra_wires, assigns,
+                  always_blocks, memory_blocks, instance_blocks):
+        for line in chunk:
+            stream.write(line + "\n")
+    stream.write("endmodule\n")
+
+
+def export_design(top: Module, stream: IO[str] | None = None) -> str:
+    """Emit ``top`` and every distinct module definition below it.
+
+    Returns the Verilog text (also written to ``stream`` if given).
+    """
+    out = StringIO()
+    out.write(f"// Generated by repro-zoomie from design "
+              f"{top.name!r}\n// One clk_<domain> input per clock "
+              f"domain; registers carry FPGA-style initial values.\n\n")
+    emitted: set[str] = set()
+
+    def visit(module: Module) -> None:
+        for inst in module.instances.values():
+            visit(inst.module)
+        if module.name not in emitted:
+            emitted.add(module.name)
+            export_module(module, out)
+            out.write("\n")
+
+    visit(top)
+    text = out.getvalue()
+    if stream is not None:
+        stream.write(text)
+    return text

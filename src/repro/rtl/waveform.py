@@ -1,0 +1,133 @@
+"""Waveform capture and VCD export.
+
+A :class:`Trace` subscribes to simulator edge hooks and records selected
+signals every time their domain commits. Traces back the ILA model (which
+captures windows of signals), the SVA software evaluator, and debugging
+sessions that want to inspect history.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable, Optional
+
+from ..errors import SimulationError
+from .simulator import Simulator
+
+
+class Trace:
+    """Records ``(cycle, {signal: value})`` rows for a set of signals.
+
+    Parameters
+    ----------
+    simulator:
+        The simulator to attach to.
+    signals:
+        Names to record. Defaults to every named signal — fine for small
+        designs, expensive for big ones.
+    domain:
+        Record on commits of this clock domain.
+    depth:
+        Optional circular-buffer depth (ILA-style capture window); older
+        rows are dropped once full. ``None`` keeps everything.
+    """
+
+    def __init__(self, simulator: Simulator,
+                 signals: Optional[Iterable[str]] = None,
+                 domain: str = "clk",
+                 depth: Optional[int] = None):
+        self.simulator = simulator
+        if signals is None:
+            signals = list(simulator.netlist.signals)
+        self.signals = [str(s) for s in signals]
+        for name in self.signals:
+            if name not in simulator.env:
+                raise SimulationError(f"cannot trace unknown signal {name!r}")
+        self.domain = domain
+        self.depth = depth
+        self.rows: list[tuple[int, dict[str, int]]] = []
+        self._attached = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def attach(self) -> "Trace":
+        """Start recording (records the pre-step state immediately)."""
+        if self._attached:
+            return self
+        self._record()
+        self.simulator.edge_hooks.append(self._on_edge)
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if self._attached:
+            self.simulator.edge_hooks.remove(self._on_edge)
+            self._attached = False
+
+    def _on_edge(self, sim: Simulator, ticked: frozenset[str]) -> None:
+        if self.domain in ticked:
+            self._record()
+
+    def _record(self) -> None:
+        row = {name: self.simulator.peek(name) for name in self.signals}
+        self.rows.append((self.simulator.cycles(self.domain), row))
+        if self.depth is not None and len(self.rows) > self.depth:
+            del self.rows[0]
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def value_at(self, cycle: int, signal: str) -> int:
+        """Value of ``signal`` at the recorded ``cycle``."""
+        for recorded_cycle, row in self.rows:
+            if recorded_cycle == cycle:
+                return row[signal]
+        raise SimulationError(f"cycle {cycle} not in trace")
+
+    def series(self, signal: str) -> list[int]:
+        """All recorded values of one signal, oldest first."""
+        return [row[signal] for _, row in self.rows]
+
+    def cycles_recorded(self) -> list[int]:
+        return [cycle for cycle, _ in self.rows]
+
+
+def _vcd_id(index: int) -> str:
+    """Compact printable VCD identifier for the ``index``-th signal."""
+    chars = "".join(chr(c) for c in range(33, 127))
+    out = ""
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, len(chars))
+        out = chars[rem] + out
+    return out
+
+
+def write_vcd(trace: Trace, stream: IO[str],
+              timescale: str = "1ns", top: str = "top") -> None:
+    """Serialize a trace as a Value Change Dump file."""
+    ids = {name: _vcd_id(i) for i, name in enumerate(trace.signals)}
+    widths = {
+        name: trace.simulator.netlist.signals.get(name, 1)
+        for name in trace.signals
+    }
+    stream.write(f"$timescale {timescale} $end\n")
+    stream.write(f"$scope module {top} $end\n")
+    for name in trace.signals:
+        safe = name.replace(".", "_")
+        stream.write(
+            f"$var wire {widths[name]} {ids[name]} {safe} $end\n")
+    stream.write("$upscope $end\n$enddefinitions $end\n")
+    last: dict[str, int] = {}
+    for index, (_cycle, row) in enumerate(trace.rows):
+        stream.write(f"#{index}\n")
+        for name in trace.signals:
+            value = row[name]
+            if last.get(name) == value:
+                continue
+            last[name] = value
+            if widths[name] == 1:
+                stream.write(f"{value}{ids[name]}\n")
+            else:
+                stream.write(f"b{value:b} {ids[name]}\n")

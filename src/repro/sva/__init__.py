@@ -1,0 +1,31 @@
+"""SystemVerilog Assertion (SVA) support.
+
+The paper's **Assertion Synthesis compiler** turns SVAs into synthesizable
+finite state machines executed on the FPGA beside the module under test;
+a failing assertion raises a breakpoint trigger (paper Sections 3.4, 5.4).
+
+Pipeline: :mod:`lexer` -> :mod:`parser` (AST in :mod:`ast`) -> boolean
+binding against a module's signals -> sequence-to-NFA translation
+(:mod:`nfa`) -> obligation-tracking monitor FSM generation
+(:mod:`compile`). :mod:`runtime` evaluates the same AST in software against
+a running simulation (reuse of verification infrastructure), and
+:mod:`features` encodes the paper's Table 4 support matrix.
+"""
+
+from .ast import Property
+from .compile import AssertionMonitor, ResourceReport, compile_assertion
+from .features import FeatureReport, SUPPORT_TABLE, analyze_features
+from .parser import parse_assertion
+from .runtime import SoftwareChecker
+
+__all__ = [
+    "AssertionMonitor",
+    "FeatureReport",
+    "Property",
+    "ResourceReport",
+    "SUPPORT_TABLE",
+    "SoftwareChecker",
+    "analyze_features",
+    "compile_assertion",
+    "parse_assertion",
+]

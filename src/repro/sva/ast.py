@@ -1,0 +1,430 @@
+"""SVA abstract syntax tree.
+
+Two layers:
+
+- **Boolean layer** (:class:`BoolExpr` subclasses): combinational
+  expressions over design signals, plus sampled-value system functions
+  (``$past``, ``$rose``, ``$fell``, ``$stable``). These *bind* against a
+  signal-width resolver to produce :class:`repro.rtl.expr.Expr` trees;
+  ``$past`` binding also requests history registers from the binder.
+- **Sequence/property layer**: delays (``##n``, ``##[m:n]``), consecutive
+  repetition (``[*n]``), ``and``/``or``/``intersect``, implication
+  (``|->``/``|=>``), the clocking event and ``disable iff``.
+
+Unsupported-for-synthesis constructs (Table 4) still parse where practical
+so :mod:`repro.sva.features` can report *why* an assertion is rejected; the
+compiler raises :class:`~repro.errors.UnsynthesizableError` on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import SvaError, UnsynthesizableError
+from ..rtl.expr import BinaryOp, Const, Expr, Slice, UnaryOp
+
+#: Resolves a (possibly hierarchical) signal name to an rtl Ref/Expr.
+SignalResolver = Callable[[str], Expr]
+#: Allocates an n-cycles-delayed copy of an expression (history register
+#: chain) and returns the delayed Expr. Signature: (expr, cycles) -> Expr.
+PastAllocator = Callable[[Expr, int], Expr]
+
+
+class Binder:
+    """Context for turning boolean AST into rtl expressions."""
+
+    def __init__(self, resolve: SignalResolver, past: PastAllocator):
+        self.resolve = resolve
+        self.past = past
+
+
+# ---------------------------------------------------------------------------
+# Boolean layer
+# ---------------------------------------------------------------------------
+
+class BoolExpr:
+    """Base class for boolean-layer nodes."""
+
+    def bind(self, binder: Binder) -> Expr:
+        raise NotImplementedError
+
+    def identifiers(self) -> set[str]:
+        """Design signal names referenced by this expression."""
+        raise NotImplementedError
+
+    def features(self) -> set[str]:
+        """Feature tags used (for the Table 4 report)."""
+        return set()
+
+
+@dataclass(frozen=True)
+class BoolId(BoolExpr):
+    name: str
+
+    def bind(self, binder: Binder) -> Expr:
+        return binder.resolve(self.name)
+
+    def identifiers(self) -> set[str]:
+        return {self.name}
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class BoolNum(BoolExpr):
+    value: int
+    width: Optional[int] = None
+
+    def bind(self, binder: Binder) -> Expr:
+        width = self.width or max(1, self.value.bit_length())
+        return Const(self.value, width)
+
+    def identifiers(self) -> set[str]:
+        return set()
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BoolIndex(BoolExpr):
+    """Bit select or part select: ``sig[i]`` / ``sig[h:l]``."""
+
+    base: BoolExpr
+    high: int
+    low: int
+
+    def bind(self, binder: Binder) -> Expr:
+        return Slice(self.base.bind(binder), self.high, self.low)
+
+    def identifiers(self) -> set[str]:
+        return self.base.identifiers()
+
+    def __str__(self) -> str:
+        if self.high == self.low:
+            return f"{self.base}[{self.high}]"
+        return f"{self.base}[{self.high}:{self.low}]"
+
+
+_UNARY_MAP = {"!": "!", "~": "~", "-": "-"}
+
+_BINARY_MAP = {
+    "==": "==", "!=": "!=", "<": "<", ">": ">", "<=": "<=", ">=": ">=",
+    "&": "&", "|": "|", "^": "^", "+": "+", "-": "-", "*": "*",
+    "&&": "&&", "||": "||",
+}
+
+
+@dataclass(frozen=True)
+class BoolUnary(BoolExpr):
+    op: str
+    operand: BoolExpr
+
+    def bind(self, binder: Binder) -> Expr:
+        inner = self.operand.bind(binder)
+        if self.op == "!":
+            return UnaryOp("!", inner.as_bool())
+        return UnaryOp(_UNARY_MAP[self.op], inner)
+
+    def identifiers(self) -> set[str]:
+        return self.operand.identifiers()
+
+    def __str__(self) -> str:
+        return f"{self.op}{self.operand}"
+
+
+@dataclass(frozen=True)
+class BoolBinary(BoolExpr):
+    op: str
+    left: BoolExpr
+    right: BoolExpr
+
+    def bind(self, binder: Binder) -> Expr:
+        lhs = self.left.bind(binder)
+        rhs = self.right.bind(binder)
+        op = _BINARY_MAP[self.op]
+        if op in ("&&", "||"):
+            return BinaryOp(op, lhs.as_bool(), rhs.as_bool())
+        # Width-extend the narrower side (numbers bind minimally sized).
+        lhs, rhs = _balance(lhs, rhs)
+        return BinaryOp(op, lhs, rhs)
+
+    def identifiers(self) -> set[str]:
+        return self.left.identifiers() | self.right.identifiers()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+def _balance(lhs: Expr, rhs: Expr) -> tuple[Expr, Expr]:
+    from ..rtl.expr import Concat
+    if lhs.width == rhs.width:
+        return lhs, rhs
+    if lhs.width < rhs.width:
+        return Concat((Const(0, rhs.width - lhs.width), lhs)), rhs
+    return lhs, Concat((Const(0, lhs.width - rhs.width), rhs))
+
+
+@dataclass(frozen=True)
+class BoolCall(BoolExpr):
+    """System function call: ``$past(expr, n)``, ``$rose(sig)``, ..."""
+
+    func: str
+    args: tuple = ()
+
+    SYNTHESIZABLE = frozenset({"$past", "$rose", "$fell", "$stable"})
+    SIMULATION_ONLY = frozenset({"$isunknown", "$onehot", "$onehot0"})
+
+    def bind(self, binder: Binder) -> Expr:
+        if self.func == "$past":
+            cycles = 1
+            if len(self.args) > 1:
+                arg = self.args[1]
+                if not isinstance(arg, BoolNum):
+                    raise UnsynthesizableError(
+                        "$past depth must be a constant", feature="$past")
+                cycles = arg.value
+            return binder.past(self.args[0].bind(binder), cycles)
+        if self.func in ("$rose", "$fell", "$stable"):
+            current = self.args[0].bind(binder)
+            previous = binder.past(current, 1)
+            if self.func == "$rose":
+                return BinaryOp(
+                    "&&", current.as_bool(),
+                    UnaryOp("!", previous.as_bool()))
+            if self.func == "$fell":
+                return BinaryOp(
+                    "&&", UnaryOp("!", current.as_bool()),
+                    previous.as_bool())
+            return BinaryOp("==", current, previous)
+        if self.func in self.SIMULATION_ONLY:
+            raise UnsynthesizableError(
+                f"{self.func} checks four-state values and only makes "
+                f"sense in simulation; it cannot be synthesized for FPGA",
+                feature=self.func)
+        raise SvaError(f"unknown system function {self.func!r}")
+
+    def identifiers(self) -> set[str]:
+        out: set[str] = set()
+        for arg in self.args:
+            out |= arg.identifiers()
+        return out
+
+    def features(self) -> set[str]:
+        return {self.func}
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.func}({inner})"
+
+
+def walk_bool(expr: BoolExpr):
+    """Yield every node of a boolean tree."""
+    yield expr
+    if isinstance(expr, BoolUnary):
+        yield from walk_bool(expr.operand)
+    elif isinstance(expr, BoolBinary):
+        yield from walk_bool(expr.left)
+        yield from walk_bool(expr.right)
+    elif isinstance(expr, BoolIndex):
+        yield from walk_bool(expr.base)
+    elif isinstance(expr, BoolCall):
+        for arg in expr.args:
+            yield from walk_bool(arg)
+
+
+# ---------------------------------------------------------------------------
+# Sequence layer
+# ---------------------------------------------------------------------------
+
+#: Unbounded upper range marker (``$`` in ``##[1:$]``).
+UNBOUNDED = -1
+
+
+class SeqExpr:
+    """Base class for sequence nodes."""
+
+    def identifiers(self) -> set[str]:
+        raise NotImplementedError
+
+    def features(self) -> set[str]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SeqBool(SeqExpr):
+    """A boolean expression as a single-cycle sequence."""
+
+    expr: BoolExpr
+
+    def identifiers(self) -> set[str]:
+        return self.expr.identifiers()
+
+    def features(self) -> set[str]:
+        out = set()
+        for node in walk_bool(self.expr):
+            out |= node.features()
+        return out
+
+    def __str__(self) -> str:
+        return str(self.expr)
+
+
+@dataclass(frozen=True)
+class SeqDelay(SeqExpr):
+    """``left ##[lo:hi] right`` (``hi == UNBOUNDED`` for ``$``)."""
+
+    left: Optional[SeqExpr]  # None for a leading delay (e.g. "##1 ack")
+    lo: int
+    hi: int
+    right: SeqExpr
+
+    def identifiers(self) -> set[str]:
+        out = self.right.identifiers()
+        if self.left is not None:
+            out |= self.left.identifiers()
+        return out
+
+    def features(self) -> set[str]:
+        out = self.right.features()
+        if self.left is not None:
+            out |= self.left.features()
+        out.add("fixed-delay" if self.lo == self.hi else "delay-range")
+        if self.hi == UNBOUNDED:
+            out.add("unbounded-delay")
+        return out
+
+    def __str__(self) -> str:
+        delay = (f"##{self.lo}" if self.lo == self.hi
+                 else f"##[{self.lo}:{'$' if self.hi == UNBOUNDED else self.hi}]")
+        left = f"{self.left} " if self.left is not None else ""
+        return f"{left}{delay} {self.right}"
+
+
+@dataclass(frozen=True)
+class SeqRepeat(SeqExpr):
+    """Consecutive repetition ``seq[*lo:hi]``."""
+
+    seq: SeqExpr
+    lo: int
+    hi: int
+    kind: str = "consecutive"  # "goto" ([->]) and "non-consecutive" ([=])
+    # parse but are unsynthesizable in our subset (Table 4).
+
+    def identifiers(self) -> set[str]:
+        return self.seq.identifiers()
+
+    def features(self) -> set[str]:
+        out = self.seq.features()
+        out.add(f"repetition-{self.kind}")
+        if self.hi == UNBOUNDED:
+            out.add("unbounded-repetition")
+        return out
+
+    def __str__(self) -> str:
+        suffix = {"consecutive": "*", "goto": "->", "non-consecutive": "="}
+        rng = (f"{self.lo}" if self.lo == self.hi
+               else f"{self.lo}:{'$' if self.hi == UNBOUNDED else self.hi}")
+        return f"({self.seq})[{suffix[self.kind]}{rng}]"
+
+
+@dataclass(frozen=True)
+class SeqBinary(SeqExpr):
+    """``and`` / ``or`` / ``intersect`` / ``throughout`` / ``within``."""
+
+    op: str
+    left: SeqExpr
+    right: SeqExpr
+
+    def identifiers(self) -> set[str]:
+        return self.left.identifiers() | self.right.identifiers()
+
+    def features(self) -> set[str]:
+        return (self.left.features() | self.right.features()
+                | {f"seq-{self.op}"})
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class SeqFirstMatch(SeqExpr):
+    """``first_match(seq)`` — parsed, never synthesized (Table 4)."""
+
+    seq: SeqExpr
+
+    def identifiers(self) -> set[str]:
+        return self.seq.identifiers()
+
+    def features(self) -> set[str]:
+        return self.seq.features() | {"first-match"}
+
+    def __str__(self) -> str:
+        return f"first_match({self.seq})"
+
+
+# ---------------------------------------------------------------------------
+# Property layer
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PropSeq:
+    """A bare sequence as a property: must match starting every cycle."""
+
+    seq: SeqExpr
+
+    def identifiers(self) -> set[str]:
+        return self.seq.identifiers()
+
+    def features(self) -> set[str]:
+        return self.seq.features()
+
+
+@dataclass(frozen=True)
+class PropImplication:
+    """``antecedent |-> consequent`` (overlapping) or ``|=>``."""
+
+    antecedent: SeqExpr
+    consequent: SeqExpr
+    overlapping: bool
+
+    def identifiers(self) -> set[str]:
+        return self.antecedent.identifiers() | self.consequent.identifiers()
+
+    def features(self) -> set[str]:
+        return (self.antecedent.features() | self.consequent.features()
+                | {"implication"})
+
+
+@dataclass
+class Property:
+    """A complete concurrent assertion."""
+
+    name: Optional[str]
+    clock_edge: str  # "posedge" | "negedge"
+    clock: Optional[str]
+    disable: Optional[BoolExpr]
+    body: object  # PropSeq | PropImplication
+    immediate: bool = False
+    source: str = ""
+    local_vars: list[str] = field(default_factory=list)
+
+    def identifiers(self) -> set[str]:
+        out = set(self.body.identifiers())
+        if self.disable is not None:
+            out |= self.disable.identifiers()
+        return out
+
+    def features(self) -> set[str]:
+        out = set(self.body.features()) if not self.immediate else set()
+        if self.immediate:
+            out.add("immediate")
+        if self.clock is not None:
+            out.add("clocking")
+        if self.disable is not None:
+            out.add("disable-iff")
+        if self.local_vars:
+            out.add("local-variable")
+        return out

@@ -1,0 +1,112 @@
+"""SVA feature support matrix — the paper's Table 4, executable.
+
+:data:`SUPPORT_TABLE` mirrors the published table; :func:`analyze_features`
+inspects one assertion and reports which features it uses and whether the
+Assertion Synthesis compiler accepts it (and if not, why).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SvaError, SvaSyntaxError, UnsynthesizableError
+from .ast import Property
+from .parser import parse_assertion
+
+FULL = "full"
+FINITE = "finite"
+SINGLE_CLOCK = "single clock"
+CONSECUTIVE_ONLY = "only consecutive"
+UNSUPPORTED = "unsupported"
+
+#: Paper Table 4: feature -> (example, support level).
+SUPPORT_TABLE: dict[str, tuple[str, str]] = {
+    "immediate": ("assert (A == B);", FULL),
+    "system-functions": ("$past(signal, 2)", FULL),
+    "clocking": ("@(posedge clk)", SINGLE_CLOCK),
+    "implication": ("a |-> b", FULL),
+    "fixed-delay": ("a ##2 b", FULL),
+    "delay-range": ("a ##[1:2] b", FINITE),
+    "repetition": ("(a ##1 b)[*2]", CONSECUTIVE_ONLY),
+    "sequence-operator": ("a and b", FINITE),
+    "local-variable": ("(a, x = data) ##1 (b == x)", UNSUPPORTED),
+    "async-reset": ("@(posedge clk or posedge rst)", UNSUPPORTED),
+    "first-match": ("first_match(a ##[1:3] b)", UNSUPPORTED),
+}
+
+#: Feature tags (from AST analysis) that the compiler rejects.
+_UNSUPPORTED_TAGS = {
+    "local-variable": "local variables in sequences",
+    "async-reset": "asynchronous reset in the clocking event",
+    "first-match": "first_match",
+    "unbounded-delay": "unbounded delay range ##[m:$]",
+    "unbounded-repetition": "unbounded repetition [*n:$]",
+    "repetition-goto": "goto repetition [->n]",
+    "repetition-non-consecutive": "non-consecutive repetition [=n]",
+    "seq-within": "the within sequence operator",
+    "$isunknown": "$isunknown (four-state, simulation-only)",
+    "$onehot": "$onehot (simulation-only in this subset)",
+    "$onehot0": "$onehot0 (simulation-only in this subset)",
+}
+
+
+@dataclass
+class FeatureReport:
+    """Analysis result for one assertion."""
+
+    source: str
+    parsed: bool
+    synthesizable: bool
+    features: set[str] = field(default_factory=set)
+    unsupported: dict[str, str] = field(default_factory=dict)
+    reason: str = ""
+    property: Property | None = None
+
+    def __str__(self) -> str:
+        status = "synthesizable" if self.synthesizable else \
+            f"NOT synthesizable ({self.reason})"
+        return f"[{status}] {self.source.strip()}"
+
+
+def analyze_features(source: str) -> FeatureReport:
+    """Parse and classify one assertion against the support matrix."""
+    try:
+        prop = parse_assertion(source)
+    except UnsynthesizableError as exc:
+        return FeatureReport(
+            source=source, parsed=False, synthesizable=False,
+            features={exc.feature} if exc.feature else set(),
+            unsupported={exc.feature: str(exc)} if exc.feature else {},
+            reason=str(exc))
+    except SvaSyntaxError as exc:
+        return FeatureReport(
+            source=source, parsed=False, synthesizable=False,
+            reason=f"syntax error: {exc}")
+
+    features = prop.features()
+    unsupported = {
+        tag: _UNSUPPORTED_TAGS[tag]
+        for tag in features if tag in _UNSUPPORTED_TAGS
+    }
+    synthesizable = not unsupported
+    reason = "; ".join(sorted(unsupported.values())) if unsupported else ""
+    return FeatureReport(
+        source=source, parsed=True, synthesizable=synthesizable,
+        features=features, unsupported=unsupported, reason=reason,
+        property=prop)
+
+
+def assert_synthesizable(source: str) -> Property:
+    """Parse and require synthesizability; raises with the Table 4 reason."""
+    report = analyze_features(source)
+    if not report.parsed:
+        raise SvaError(report.reason)
+    if not report.synthesizable:
+        raise UnsynthesizableError(report.reason)
+    assert report.property is not None
+    return report.property
+
+
+def support_level(feature: str) -> str:
+    """The Table 4 support level of a named feature row."""
+    return SUPPORT_TABLE[feature][1]

@@ -1,0 +1,99 @@
+"""Tokenizer for the SVA subset.
+
+Produces a flat token list consumed by the recursive-descent parser.
+Token kinds: ``ID`` (identifiers, including hierarchical ``a.b.c`` and
+system functions ``$past``), ``NUM`` (decimal and based literals like
+``8'hFF``), ``OP`` (multi-character operators longest-first), and ``KW``
+for reserved words.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import SvaSyntaxError
+
+KEYWORDS = frozenset({
+    "assert", "property", "posedge", "negedge", "disable", "iff",
+    "not", "and", "or", "intersect", "throughout", "within",
+    "first_match", "if", "else",
+})
+
+# Longest match first.
+OPERATORS = [
+    "|->", "|=>", "##", "[*", "[=", "[->",
+    "&&", "||", "==", "!=", "<=", ">=", "<<", ">>",
+    "(", ")", "[", "]", "{", "}", ":", ";", ",", "@", "$",
+    "!", "~", "&", "|", "^", "<", ">", "+", "-", "*", "/", "%", "=", ".",
+]
+
+_NUM_RE = re.compile(
+    r"(?:(\d+)?'([bodhBODH])([0-9a-fA-F_xXzZ]+))|(\d+)")
+_ID_RE = re.compile(r"[a-zA-Z_$][a-zA-Z_0-9$]*(?:\.[a-zA-Z_][a-zA-Z_0-9$]*)*")
+_WS_RE = re.compile(r"\s+")
+_COMMENT_RE = re.compile(r"//[^\n]*|/\*.*?\*/", re.S)
+
+_BASES = {"b": 2, "o": 8, "d": 10, "h": 16}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str  # "ID" | "NUM" | "OP" | "KW" | "EOF"
+    text: str
+    pos: int
+    value: int = 0
+    width: int | None = None  # explicit width of based literals
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raises :class:`SvaSyntaxError` on junk."""
+    tokens: list[Token] = []
+    pos = 0
+    length = len(source)
+    while pos < length:
+        ws = _WS_RE.match(source, pos)
+        if ws:
+            pos = ws.end()
+            continue
+        comment = _COMMENT_RE.match(source, pos)
+        if comment:
+            pos = comment.end()
+            continue
+        num = _NUM_RE.match(source, pos)
+        if num:
+            width_text, base_char, digits, plain = num.groups()
+            if plain is not None:
+                tokens.append(Token("NUM", plain, pos, value=int(plain)))
+            else:
+                digits_clean = digits.replace("_", "")
+                if re.search(r"[xXzZ]", digits_clean):
+                    raise SvaSyntaxError(
+                        f"four-state literal {num.group(0)!r} is not "
+                        f"synthesizable", pos)
+                base = _BASES[base_char.lower()]
+                value = int(digits_clean, base)
+                width = int(width_text) if width_text else None
+                tokens.append(Token(
+                    "NUM", num.group(0), pos, value=value, width=width))
+            pos = num.end()
+            continue
+        ident = _ID_RE.match(source, pos)
+        if ident:
+            text = ident.group(0)
+            kind = "KW" if text in KEYWORDS else "ID"
+            tokens.append(Token(kind, text, pos))
+            pos = ident.end()
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, pos):
+                tokens.append(Token("OP", op, pos))
+                pos += len(op)
+                break
+        else:
+            raise SvaSyntaxError(
+                f"unexpected character {source[pos]!r}", pos)
+    tokens.append(Token("EOF", "", length))
+    return tokens

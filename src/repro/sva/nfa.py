@@ -1,0 +1,351 @@
+"""Sequence-to-NFA translation.
+
+Sequences become nondeterministic finite automata whose transitions each
+consume exactly one clock cycle, labelled with a bound
+:class:`repro.rtl.expr.Expr` condition (``None`` during construction means
+an epsilon edge, eliminated before the automaton is used).
+
+Construction rules (SVA semantics):
+
+- a boolean ``b`` is ``start --b--> accept``;
+- ``s1 ##d s2`` chains ``d-1`` unconditional "true steps" between the end
+  of ``s1`` and the start of ``s2`` (``##1`` is direct concatenation);
+- ``##[m:n]`` is the union over the bounded delays;
+- ``s[*n]`` is ``s ##1 s ##1 ... ##1 s`` (consecutive repetition);
+- ``s1 or s2`` is automaton union;
+- ``s1 intersect s2`` is the length-matching product;
+- ``s1 and s2`` is the product where each side may finish early and the
+  match completes when the *later* side accepts (finite forms only);
+- ``b throughout s`` conjoins ``b`` onto every transition of ``s``.
+
+Unbounded forms raise :class:`~repro.errors.UnsynthesizableError` per the
+paper's Table 4 ("finite" support only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import UnsynthesizableError
+from ..rtl.expr import BinaryOp, Const, Expr
+from .ast import (
+    UNBOUNDED,
+    Binder,
+    SeqBinary,
+    SeqBool,
+    SeqDelay,
+    SeqExpr,
+    SeqFirstMatch,
+    SeqRepeat,
+)
+
+TRUE = Const(1, 1)
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One consuming NFA edge (``cond`` is a 1-bit rtl expression)."""
+
+    src: int
+    cond: Expr
+    dst: int
+
+
+@dataclass
+class Nfa:
+    """An epsilon-free NFA over clock cycles."""
+
+    state_count: int
+    start: int
+    accepts: frozenset[int]
+    transitions: list[Transition] = field(default_factory=list)
+
+    def conditions(self) -> list[Expr]:
+        """Distinct transition conditions (by structural repr)."""
+        seen: dict[str, Expr] = {}
+        for transition in self.transitions:
+            seen.setdefault(repr(transition.cond), transition.cond)
+        return list(seen.values())
+
+    def transitions_from(self, state: int) -> list[Transition]:
+        return [t for t in self.transitions if t.src == state]
+
+
+class _Builder:
+    """Mutable NFA under construction, with epsilon edges."""
+
+    def __init__(self):
+        self.count = 0
+        self.edges: list[tuple[int, Optional[Expr], int]] = []
+
+    def state(self) -> int:
+        self.count += 1
+        return self.count - 1
+
+    def edge(self, src: int, cond: Optional[Expr], dst: int) -> None:
+        self.edges.append((src, cond, dst))
+
+
+def _build(seq: SeqExpr, binder: Binder, b: _Builder) -> tuple[int, int]:
+    """Build ``seq`` into ``b``; returns (start, accept) state ids."""
+    if isinstance(seq, SeqBool):
+        start, accept = b.state(), b.state()
+        cond = seq.expr.bind(binder).as_bool()
+        b.edge(start, cond, accept)
+        return start, accept
+
+    if isinstance(seq, SeqDelay):
+        if seq.hi == UNBOUNDED:
+            raise UnsynthesizableError(
+                "unbounded delay range ##[m:$] is not synthesizable "
+                "(finite ranges only)", feature="unbounded-delay")
+        if seq.lo == 0 and seq.left is not None:
+            raise UnsynthesizableError(
+                "##0 sequence fusion is not supported",
+                feature="zero-delay-fusion")
+        right_start, right_accept = _build(seq.right, binder, b)
+        lo = max(seq.lo, 1) if seq.left is None else seq.lo
+        entry = b.state()
+        # entry reaches right_start after d-1 true steps, for d in lo..hi.
+        for delay in range(lo, seq.hi + 1):
+            cursor = entry
+            for _ in range(delay - 1):
+                nxt = b.state()
+                b.edge(cursor, TRUE, nxt)
+                cursor = nxt
+            b.edge(cursor, None, right_start)
+        if seq.left is None:
+            # Leading delay: the delay counts from the start cycle, so a
+            # ##1 lead means the boolean holds on the *next* cycle. One
+            # extra true step models the anchor cycle.
+            lead = b.state()
+            b.edge(lead, TRUE, entry)
+            return lead, right_accept
+        left_start, left_accept = _build(seq.left, binder, b)
+        b.edge(left_accept, None, entry)
+        return left_start, right_accept
+
+    if isinstance(seq, SeqRepeat):
+        if seq.kind != "consecutive":
+            raise UnsynthesizableError(
+                f"{seq.kind} repetition is not supported "
+                f"(only consecutive [*n])", feature=f"repetition-{seq.kind}")
+        if seq.hi == UNBOUNDED:
+            raise UnsynthesizableError(
+                "unbounded repetition [*n:$] is not synthesizable",
+                feature="unbounded-repetition")
+        if seq.lo == 0:
+            raise UnsynthesizableError(
+                "empty-match repetition [*0...] is not supported",
+                feature="empty-repetition")
+        start = b.state()
+        final_accept = b.state()
+        cursor = start
+        for count in range(1, seq.hi + 1):
+            inner_start, inner_accept = _build(seq.seq, binder, b)
+            b.edge(cursor, None, inner_start)
+            if count >= seq.lo:
+                b.edge(inner_accept, None, final_accept)
+            cursor = inner_accept
+        return start, final_accept
+
+    if isinstance(seq, SeqBinary):
+        if seq.op == "or":
+            a_start, a_accept = _build(seq.left, binder, b)
+            c_start, c_accept = _build(seq.right, binder, b)
+            start, accept = b.state(), b.state()
+            b.edge(start, None, a_start)
+            b.edge(start, None, c_start)
+            b.edge(a_accept, None, accept)
+            b.edge(c_accept, None, accept)
+            return start, accept
+        if seq.op == "throughout":
+            # Delegate to the guarded construction and inline the result.
+            return _inline(build_sequence(seq, binder), b)
+        if seq.op == "within":
+            raise UnsynthesizableError(
+                "within is not supported", feature="seq-within")
+        # "and" / "intersect" need epsilon-free operands: build each
+        # separately then combine via product.
+        left = build_sequence(seq.left, binder)
+        right = build_sequence(seq.right, binder)
+        product = (_product_intersect(left, right) if seq.op == "intersect"
+                   else _product_and(left, right))
+        return _inline(product, b)
+
+    if isinstance(seq, SeqFirstMatch):
+        raise UnsynthesizableError(
+            "first_match is not supported", feature="first-match")
+
+    raise UnsynthesizableError(f"cannot synthesize sequence {seq!r}")
+
+
+def build_sequence(seq: SeqExpr, binder: Binder) -> Nfa:
+    """Translate a sequence into an epsilon-free NFA."""
+    if isinstance(seq, SeqBinary) and seq.op == "throughout":
+        if not isinstance(seq.left, SeqBool):
+            raise UnsynthesizableError(
+                "throughout requires a boolean left-hand side",
+                feature="seq-throughout")
+        guard = seq.left.expr.bind(binder).as_bool()
+        inner = build_sequence(seq.right, binder)
+        guarded = [
+            Transition(t.src, BinaryOp("&&", guard, t.cond), t.dst)
+            for t in inner.transitions
+        ]
+        return Nfa(state_count=inner.state_count, start=inner.start,
+                   accepts=inner.accepts, transitions=guarded)
+    b = _Builder()
+    start, accept = _build(seq, binder, b)
+    return _eliminate_epsilon(b, start, accept)
+
+
+def _eliminate_epsilon(b: _Builder, start: int, accept: int) -> Nfa:
+    """Standard epsilon elimination + unreachable-state pruning."""
+    eps: dict[int, set[int]] = {s: {s} for s in range(b.count)}
+    changed = True
+    while changed:
+        changed = False
+        for src, cond, dst in b.edges:
+            if cond is None:
+                for state, closure in eps.items():
+                    if src in closure and dst not in closure:
+                        closure.add(dst)
+                        changed = True
+    consuming = [(src, cond, dst) for src, cond, dst in b.edges
+                 if cond is not None]
+    transitions: list[Transition] = []
+    accepting: set[int] = set()
+    for state in range(b.count):
+        if accept in eps[state]:
+            accepting.add(state)
+    for state in range(b.count):
+        for via in eps[state]:
+            for src, cond, dst in consuming:
+                if src == via:
+                    transitions.append(Transition(state, cond, dst))
+    # Prune states unreachable from start.
+    reachable = {start}
+    frontier = [start]
+    adj: dict[int, list[Transition]] = {}
+    for t in transitions:
+        adj.setdefault(t.src, []).append(t)
+    while frontier:
+        node = frontier.pop()
+        for t in adj.get(node, ()):
+            if t.dst not in reachable:
+                reachable.add(t.dst)
+                frontier.append(t.dst)
+    remap = {old: new for new, old in enumerate(sorted(reachable))}
+    pruned = [
+        Transition(remap[t.src], t.cond, remap[t.dst])
+        for t in transitions if t.src in reachable and t.dst in reachable
+    ]
+    # Deduplicate structurally identical transitions.
+    unique: dict[tuple[int, str, int], Transition] = {}
+    for t in pruned:
+        unique[(t.src, repr(t.cond), t.dst)] = t
+    return Nfa(
+        state_count=len(reachable),
+        start=remap[start],
+        accepts=frozenset(remap[s] for s in accepting if s in reachable),
+        transitions=list(unique.values()),
+    )
+
+
+def _product_intersect(a: Nfa, c: Nfa) -> Nfa:
+    """Length-matching product: both advance every cycle, accept together."""
+    index: dict[tuple[int, int], int] = {}
+
+    def state_of(pa: int, pc: int) -> int:
+        return index.setdefault((pa, pc), len(index))
+
+    start = state_of(a.start, c.start)
+    transitions: list[Transition] = []
+    frontier = [(a.start, c.start)]
+    seen = {(a.start, c.start)}
+    while frontier:
+        pa, pc = frontier.pop()
+        src = state_of(pa, pc)
+        for ta in a.transitions_from(pa):
+            for tc in c.transitions_from(pc):
+                cond = BinaryOp("&&", ta.cond, tc.cond)
+                dst_pair = (ta.dst, tc.dst)
+                dst = state_of(*dst_pair)
+                transitions.append(Transition(src, cond, dst))
+                if dst_pair not in seen:
+                    seen.add(dst_pair)
+                    frontier.append(dst_pair)
+    accepts = frozenset(
+        state for (pa, pc), state in index.items()
+        if pa in a.accepts and pc in c.accepts)
+    return Nfa(state_count=len(index), start=start,
+               accepts=accepts, transitions=transitions)
+
+
+_DONE = -1
+
+
+def _product_and(a: Nfa, c: Nfa) -> Nfa:
+    """SVA ``and``: both match; the match ends when the later side ends.
+
+    Each side that has already accepted idles in a DONE state; the product
+    accepts exactly when one side accepts now and the other accepted
+    before (or also accepts now).
+    """
+    index: dict[tuple[int, int], int] = {}
+
+    def state_of(pa: int, pc: int) -> int:
+        return index.setdefault((pa, pc), len(index))
+
+    def moves(nfa: Nfa, state: int) -> list[tuple[Expr, int]]:
+        if state == _DONE:
+            return [(TRUE, _DONE)]
+        out = [(t.cond, t.dst) for t in nfa.transitions_from(state)]
+        if state in nfa.accepts:
+            out.append((TRUE, _DONE))
+        return out
+
+    start = state_of(a.start, c.start)
+    transitions: list[Transition] = []
+    frontier = [(a.start, c.start)]
+    seen = {(a.start, c.start)}
+    while frontier:
+        pa, pc = frontier.pop()
+        src = state_of(pa, pc)
+        for cond_a, dst_a in moves(a, pa):
+            for cond_c, dst_c in moves(c, pc):
+                cond = BinaryOp("&&", cond_a, cond_c)
+                pair = (dst_a, dst_c)
+                dst = state_of(*pair)
+                transitions.append(Transition(src, cond, dst))
+                if pair not in seen:
+                    seen.add(pair)
+                    frontier.append(pair)
+
+    def just_accepted(nfa: Nfa, state: int) -> bool:
+        return state != _DONE and state in nfa.accepts
+
+    def finished(nfa: Nfa, state: int) -> bool:
+        return state == _DONE or state in nfa.accepts
+
+    accepts = frozenset(
+        state for (pa, pc), state in index.items()
+        if (just_accepted(a, pa) and finished(c, pc))
+        or (just_accepted(c, pc) and finished(a, pa)))
+    return Nfa(state_count=len(index), start=start,
+               accepts=accepts, transitions=transitions)
+
+
+def _inline(nfa: Nfa, b: _Builder) -> tuple[int, int]:
+    """Copy an epsilon-free NFA into a builder; returns (start, accept)."""
+    offset = b.count
+    for _ in range(nfa.state_count):
+        b.state()
+    accept = b.state()
+    for t in nfa.transitions:
+        b.edge(offset + t.src, t.cond, offset + t.dst)
+    for acc in nfa.accepts:
+        b.edge(offset + acc, None, accept)
+    return offset + nfa.start, accept

@@ -1,0 +1,337 @@
+"""Recursive-descent parser for the SVA subset.
+
+Entry point :func:`parse_assertion` accepts one assertion statement::
+
+    ack_valid: assert property
+      (@(posedge clk) disable iff (!resetn) valid |-> ##1 ack);
+
+and returns a :class:`~repro.sva.ast.Property`. Immediate assertions
+(``assert (a == b);``) are supported too. Constructs the paper's Table 4
+marks unsupported (local variables, ``first_match`` used for synthesis,
+asynchronous resets in the clocking event) either parse into AST nodes the
+compiler rejects, or raise :class:`~repro.errors.UnsynthesizableError`
+directly when they cannot even be represented.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import SvaSyntaxError, UnsynthesizableError
+from .ast import (
+    UNBOUNDED,
+    BoolBinary,
+    BoolCall,
+    BoolExpr,
+    BoolId,
+    BoolIndex,
+    BoolNum,
+    BoolUnary,
+    PropImplication,
+    Property,
+    PropSeq,
+    SeqBinary,
+    SeqBool,
+    SeqDelay,
+    SeqExpr,
+    SeqFirstMatch,
+    SeqRepeat,
+)
+from .lexer import Token, tokenize
+
+_SEQ_BINOPS = ("and", "or", "intersect", "throughout", "within")
+_REL_OPS = ("<", ">", "<=", ">=")
+_EQ_OPS = ("==", "!=")
+_ADD_OPS = ("+", "-")
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.source = source
+        self.tokens = tokenize(source)
+        self.index = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.index + ahead, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "EOF":
+            self.index += 1
+        return token
+
+    def at(self, kind: str, text: Optional[str] = None,
+           ahead: int = 0) -> bool:
+        token = self.peek(ahead)
+        return token.kind == kind and (text is None or token.text == text)
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.peek()
+        if not self.at(kind, text):
+            want = text or kind
+            raise SvaSyntaxError(
+                f"expected {want!r}, found {token.text or 'end of input'!r}",
+                token.pos)
+        return self.advance()
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.at(kind, text):
+            return self.advance()
+        return None
+
+    def accept_dollar(self) -> bool:
+        """A lone ``$`` (unbounded marker) lexes as an identifier."""
+        if self.at("OP", "$") or self.at("ID", "$"):
+            self.advance()
+            return True
+        return False
+
+    # -- top level -------------------------------------------------------------
+
+    def parse(self) -> Property:
+        name = None
+        if self.at("ID") and self.at("OP", ":", ahead=1):
+            name = self.advance().text
+            self.advance()
+        self.expect("KW", "assert")
+        if self.accept("KW", "property"):
+            self.expect("OP", "(")
+            prop = self._parse_property(name)
+            self.expect("OP", ")")
+        else:
+            self.expect("OP", "(")
+            expr = self._parse_bool()
+            self.expect("OP", ")")
+            prop = Property(
+                name=name, clock_edge="posedge", clock=None, disable=None,
+                body=PropSeq(SeqBool(expr)), immediate=True,
+                source=self.source)
+        self.accept("OP", ";")
+        if not self.at("EOF"):
+            token = self.peek()
+            raise SvaSyntaxError(
+                f"trailing input at {token.text!r}", token.pos)
+        return prop
+
+    def _parse_property(self, name: Optional[str]) -> Property:
+        clock_edge = "posedge"
+        clock = None
+        if self.accept("OP", "@"):
+            self.expect("OP", "(")
+            edge_token = self.expect("KW")
+            if edge_token.text not in ("posedge", "negedge"):
+                raise SvaSyntaxError(
+                    f"expected posedge/negedge, found {edge_token.text!r}",
+                    edge_token.pos)
+            clock_edge = edge_token.text
+            clock = self.expect("ID").text
+            if self.at("KW", "or"):
+                # "@(posedge clk or posedge rst)": asynchronous reset in
+                # the clocking event (Table 4: unsupported).
+                raise UnsynthesizableError(
+                    "asynchronous reset in the clocking event is not "
+                    "supported", feature="async-reset")
+            self.expect("OP", ")")
+        disable = None
+        if self.accept("KW", "disable"):
+            self.expect("KW", "iff")
+            self.expect("OP", "(")
+            disable = self._parse_bool()
+            self.expect("OP", ")")
+        antecedent = self._parse_seq()
+        if self.at("OP", "|->") or self.at("OP", "|=>"):
+            op = self.advance().text
+            consequent = self._parse_seq()
+            body = PropImplication(
+                antecedent=antecedent, consequent=consequent,
+                overlapping=(op == "|->"))
+        else:
+            body = PropSeq(antecedent)
+        return Property(name=name, clock_edge=clock_edge, clock=clock,
+                        disable=disable, body=body, source=self.source)
+
+    # -- sequence layer ----------------------------------------------------------
+
+    def _parse_seq(self) -> SeqExpr:
+        left = self._parse_seq_delay()
+        while self.at("KW") and self.peek().text in _SEQ_BINOPS:
+            op = self.advance().text
+            right = self._parse_seq_delay()
+            left = SeqBinary(op=op, left=left, right=right)
+        return left
+
+    def _parse_seq_delay(self) -> SeqExpr:
+        # Leading delay: "##1 ack" (paper's running example writes #1;
+        # accept both spellings).
+        left: Optional[SeqExpr] = None
+        if not self.at("OP", "##"):
+            left = self._parse_seq_rep()
+        while self.at("OP", "##"):
+            self.advance()
+            lo, hi = self._parse_delay_range()
+            right = self._parse_seq_rep()
+            left = SeqDelay(left=left, lo=lo, hi=hi, right=right)
+        assert left is not None
+        return left
+
+    def _parse_delay_range(self) -> tuple[int, int]:
+        if self.accept("OP", "["):
+            lo = self.expect("NUM").value
+            self.expect("OP", ":")
+            if self.accept_dollar():
+                hi = UNBOUNDED
+            else:
+                hi = self.expect("NUM").value
+            self.expect("OP", "]")
+            if hi != UNBOUNDED and hi < lo:
+                raise SvaSyntaxError(f"empty delay range [{lo}:{hi}]")
+            return lo, hi
+        token = self.expect("NUM")
+        return token.value, token.value
+
+    def _parse_seq_rep(self) -> SeqExpr:
+        primary = self._parse_seq_primary()
+        while self.at("OP", "[*") or self.at("OP", "[->") or self.at("OP", "[="):
+            op = self.advance().text
+            kind = {"[*": "consecutive", "[->": "goto",
+                    "[=": "non-consecutive"}[op]
+            lo = self.expect("NUM").value
+            hi = lo
+            if self.accept("OP", ":"):
+                if self.accept_dollar():
+                    hi = UNBOUNDED
+                else:
+                    hi = self.expect("NUM").value
+            self.expect("OP", "]")
+            if hi != UNBOUNDED and hi < lo:
+                raise SvaSyntaxError(f"empty repetition range [{lo}:{hi}]")
+            primary = SeqRepeat(seq=primary, lo=lo, hi=hi, kind=kind)
+        return primary
+
+    def _parse_seq_primary(self) -> SeqExpr:
+        if self.at("KW", "first_match"):
+            self.advance()
+            self.expect("OP", "(")
+            inner = self._parse_seq()
+            self.expect("OP", ")")
+            return SeqFirstMatch(inner)
+        # Local variable detection: "x = expr" inside a sequence.
+        if self.at("ID") and self.at("OP", "=", ahead=1):
+            raise UnsynthesizableError(
+                "local variables in sequences are not supported",
+                feature="local-variable")
+        if self.at("OP", "("):
+            # Could be a parenthesized boolean or a parenthesized sequence.
+            # Try the boolean first; backtrack to a sequence parse if the
+            # parenthesized body uses sequence operators.
+            mark = self.index
+            try:
+                return SeqBool(self._parse_bool())
+            except SvaSyntaxError:
+                self.index = mark
+            self.expect("OP", "(")
+            inner = self._parse_seq()
+            self.expect("OP", ")")
+            return inner
+        return SeqBool(self._parse_bool())
+
+    # -- boolean layer ---------------------------------------------------------
+
+    def _parse_bool(self) -> BoolExpr:
+        return self._parse_or()
+
+    def _binary_chain(self, sub, ops) -> BoolExpr:
+        left = sub()
+        while self.at("OP") and self.peek().text in ops:
+            op = self.advance().text
+            left = BoolBinary(op=op, left=left, right=sub())
+        return left
+
+    def _parse_or(self) -> BoolExpr:
+        return self._binary_chain(self._parse_and, ("||",))
+
+    def _parse_and(self) -> BoolExpr:
+        return self._binary_chain(self._parse_bitor, ("&&",))
+
+    def _parse_bitor(self) -> BoolExpr:
+        return self._binary_chain(self._parse_bitxor, ("|",))
+
+    def _parse_bitxor(self) -> BoolExpr:
+        return self._binary_chain(self._parse_bitand, ("^",))
+
+    def _parse_bitand(self) -> BoolExpr:
+        return self._binary_chain(self._parse_equality, ("&",))
+
+    def _parse_equality(self) -> BoolExpr:
+        return self._binary_chain(self._parse_relational, _EQ_OPS)
+
+    def _parse_relational(self) -> BoolExpr:
+        return self._binary_chain(self._parse_additive, _REL_OPS)
+
+    def _parse_additive(self) -> BoolExpr:
+        return self._binary_chain(self._parse_unary, _ADD_OPS)
+
+    def _parse_unary(self) -> BoolExpr:
+        if self.at("OP") and self.peek().text in ("!", "~", "-"):
+            op = self.advance().text
+            return BoolUnary(op=op, operand=self._parse_unary())
+        return self._parse_bool_primary()
+
+    def _parse_bool_primary(self) -> BoolExpr:
+        if self.accept("OP", "("):
+            inner = self._parse_bool()
+            self.expect("OP", ")")
+            return self._maybe_index(inner)
+        if self.at("NUM"):
+            token = self.advance()
+            return BoolNum(value=token.value, width=token.width)
+        token = self.expect("ID")
+        if token.text.startswith("$"):
+            args: list[BoolExpr] = []
+            self.expect("OP", "(")
+            if not self.at("OP", ")"):
+                args.append(self._parse_bool())
+                while self.accept("OP", ","):
+                    args.append(self._parse_bool())
+            self.expect("OP", ")")
+            return BoolCall(func=token.text, args=tuple(args))
+        return self._maybe_index(BoolId(token.text))
+
+    def _maybe_index(self, base: BoolExpr) -> BoolExpr:
+        while self.at("OP", "[") and not self.at("OP", "[*"):
+            self.advance()
+            high = self.expect("NUM").value
+            low = high
+            if self.accept("OP", ":"):
+                low = self.expect("NUM").value
+            self.expect("OP", "]")
+            base = BoolIndex(base=base, high=high, low=low)
+        return base
+
+
+def parse_assertion(source: str) -> Property:
+    """Parse one assertion statement into a :class:`Property`."""
+    # The paper's running example writes "#1" for a one-cycle delay;
+    # normalize the common single-# spelling to standard "##".
+    normalized = _normalize_single_hash(source)
+    return _Parser(normalized).parse()
+
+
+def _normalize_single_hash(source: str) -> str:
+    out = []
+    i = 0
+    while i < len(source):
+        ch = source[i]
+        if ch == "#":
+            if i + 1 < len(source) and source[i + 1] == "#":
+                out.append("##")
+                i += 2
+                continue
+            out.append("##")
+            i += 1
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)

@@ -1,0 +1,292 @@
+"""Software evaluation of SVA properties against a running simulation.
+
+This is the "reusing verification infrastructure" half of the paper: the
+same assertion text that the Assertion Synthesis compiler turns into FPGA
+monitors also runs in software simulation. :class:`SoftwareChecker`
+attaches to a :class:`~repro.rtl.simulator.Simulator`, tracks exact NFA
+thread sets per obligation (no determinization needed in software), and
+records every failure cycle.
+
+The test suite cross-checks the hardware monitor FSM against this checker
+cycle-for-cycle — the strongest evidence the compiled FSMs implement the
+assertion semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..errors import SvaError
+from ..rtl.expr import Expr, Ref
+from ..rtl.simulator import Simulator
+from .ast import Binder, PropImplication, Property, PropSeq, SeqBool
+from .nfa import Nfa, build_sequence
+from .parser import parse_assertion
+
+
+@dataclass
+class _Obligation:
+    """One outstanding consequent attempt (exact NFA state set)."""
+
+    started_cycle: int
+    states: frozenset[int]
+
+
+@dataclass
+class AssertionFailure:
+    """One recorded property violation."""
+
+    cycle: int
+    obligation_started: int
+
+    def __str__(self) -> str:
+        return (f"assertion failed at cycle {self.cycle} "
+                f"(obligation from cycle {self.obligation_started})")
+
+
+@dataclass
+class _History:
+    """Bounded per-signal value history for $past evaluation."""
+
+    depth: int
+    rows: list[dict[str, int]] = field(default_factory=list)
+
+    def push(self, row: dict[str, int]) -> None:
+        self.rows.append(row)
+        if len(self.rows) > self.depth + 1:
+            del self.rows[0]
+
+    def value(self, name: str, cycles_back: int) -> int:
+        index = len(self.rows) - 1 - cycles_back
+        if index < 0:
+            return 0  # $past before enough history: X in SV; we use 0
+        return self.rows[index][name]
+
+
+class SoftwareChecker:
+    """Evaluates one property on a live simulator.
+
+    Parameters
+    ----------
+    source:
+        Assertion text or parsed :class:`Property`.
+    simulator:
+        The simulator to observe.
+    prefix:
+        Hierarchical prefix prepended to every identifier in the
+        assertion (assertions written inside a module reference local
+        names; the flat netlist uses full paths).
+    domain:
+        Clock domain to sample on; defaults to the property's clock or
+        ``clk``.
+    """
+
+    def __init__(self, source: Union[str, Property], simulator: Simulator,
+                 prefix: str = "", domain: Optional[str] = None):
+        self.property = (parse_assertion(source)
+                         if isinstance(source, str) else source)
+        self.simulator = simulator
+        self.prefix = prefix
+        self.domain = domain or self.property.clock or "clk"
+        self.failures: list[AssertionFailure] = []
+        self.matches = 0
+
+        netlist = simulator.netlist
+        self._past_requests: list[tuple[str, Expr, int]] = []
+        self._past_counter = 0
+
+        def resolve(name: str) -> Expr:
+            flat = f"{prefix}.{name}" if prefix else name
+            if flat not in netlist.signals:
+                raise SvaError(
+                    f"assertion references unknown signal {flat!r}")
+            return Ref(flat, netlist.width(flat))
+
+        def past(expr: Expr, cycles: int) -> Expr:
+            placeholder = f"__past{self._past_counter}"
+            self._past_counter += 1
+            self._past_requests.append((placeholder, expr, cycles))
+            return Ref(placeholder, expr.width)
+
+        binder = Binder(resolve=resolve, past=past)
+
+        self._disable_expr = (
+            self.property.disable.bind(binder).as_bool()
+            if self.property.disable is not None else None)
+
+        if self.property.immediate:
+            self._immediate_expr = \
+                self.property.body.seq.expr.bind(binder).as_bool()
+            self._ant_nfa: Optional[Nfa] = None
+            self._con_nfa: Optional[Nfa] = None
+            self._overlapping = True
+        else:
+            self._immediate_expr = None
+            body = self.property.body
+            if isinstance(body, PropImplication):
+                self._ant_nfa = build_sequence(body.antecedent, binder)
+                self._con_nfa = build_sequence(body.consequent, binder)
+                self._overlapping = body.overlapping
+            else:
+                assert isinstance(body, PropSeq)
+                from .ast import BoolNum
+                self._ant_nfa = build_sequence(SeqBool(BoolNum(1, 1)), binder)
+                self._con_nfa = build_sequence(body.seq, binder)
+                self._overlapping = True
+
+        # Signals the checker samples every cycle.
+        self._watched: set[str] = set()
+        for expr_source in self._all_condition_exprs():
+            self._watched |= {
+                s for s in expr_source.signals()
+                if not s.startswith("__past")}
+        max_past = max(
+            (cycles for _, _, cycles in self._past_requests), default=0)
+        # Nested $past placeholders need their operand signals too.
+        for _, expr, _ in self._past_requests:
+            self._watched |= {
+                s for s in expr.signals() if not s.startswith("__past")}
+        self._history = _History(depth=max_past + 4)
+
+        self._ant_states: frozenset[int] = frozenset()
+        self._obligations: list[_Obligation] = []
+        self._attached = False
+
+    def _all_condition_exprs(self) -> list[Expr]:
+        out: list[Expr] = []
+        if self._disable_expr is not None:
+            out.append(self._disable_expr)
+        if self._immediate_expr is not None:
+            out.append(self._immediate_expr)
+        for nfa in (self._ant_nfa, self._con_nfa):
+            if nfa is not None:
+                out.extend(t.cond for t in nfa.transitions)
+        return out
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def attach(self) -> "SoftwareChecker":
+        if not self._attached:
+            self.simulator.pre_edge_hooks.append(self._on_edge)
+            self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if self._attached:
+            self.simulator.pre_edge_hooks.remove(self._on_edge)
+            self._attached = False
+
+    def ok(self) -> bool:
+        return not self.failures
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def _on_edge(self, sim: Simulator, ticked: frozenset[str]) -> None:
+        if self.domain not in ticked:
+            return
+        row = {name: sim.peek(name) for name in self._watched}
+        self._history.push(row)
+        cycle = sim.cycles(self.domain)
+
+        env = self._build_env(cycles_back=0)
+        if self._disable_expr is not None and self._disable_expr.eval(env):
+            # Synchronous abort: drop all state, no failure.
+            self._ant_states = frozenset()
+            self._obligations.clear()
+            return
+
+        if self._immediate_expr is not None:
+            if not self._immediate_expr.eval(env):
+                self.failures.append(AssertionFailure(
+                    cycle=cycle, obligation_started=cycle))
+            else:
+                self.matches += 1
+            return
+
+        assert self._ant_nfa is not None and self._con_nfa is not None
+
+        # Advance the antecedent with a fresh attempt injected now.
+        effective = set(self._ant_states) | {self._ant_nfa.start}
+        next_states: set[int] = set()
+        matched = False
+        for t in self._ant_nfa.transitions:
+            if t.src in effective and t.cond.eval(env):
+                next_states.add(t.dst)
+                if t.dst in self._ant_nfa.accepts:
+                    matched = True
+        self._ant_states = frozenset(next_states)
+
+        # Advance existing obligations (exact per-thread sets).
+        survivors: list[_Obligation] = []
+        for obligation in self._obligations:
+            new_states: set[int] = set()
+            accepted = False
+            for t in self._con_nfa.transitions:
+                if t.src in obligation.states and t.cond.eval(env):
+                    new_states.add(t.dst)
+                    if t.dst in self._con_nfa.accepts:
+                        accepted = True
+            if accepted:
+                self.matches += 1
+                continue
+            if not new_states:
+                self.failures.append(AssertionFailure(
+                    cycle=cycle,
+                    obligation_started=obligation.started_cycle))
+                continue
+            survivors.append(_Obligation(
+                started_cycle=obligation.started_cycle,
+                states=frozenset(new_states)))
+        self._obligations = survivors
+
+        if matched:
+            if self._overlapping:
+                # The consequent's first condition is evaluated on this
+                # same cycle.
+                start_set = {self._con_nfa.start}
+                new_states = set()
+                accepted = False
+                for t in self._con_nfa.transitions:
+                    if t.src in start_set and t.cond.eval(env):
+                        new_states.add(t.dst)
+                        if t.dst in self._con_nfa.accepts:
+                            accepted = True
+                if accepted:
+                    self.matches += 1
+                elif not new_states:
+                    self.failures.append(AssertionFailure(
+                        cycle=cycle, obligation_started=cycle))
+                else:
+                    self._obligations.append(_Obligation(
+                        started_cycle=cycle, states=frozenset(new_states)))
+            else:
+                self._obligations.append(_Obligation(
+                    started_cycle=cycle,
+                    states=frozenset({self._con_nfa.start})))
+
+    def _build_env(self, cycles_back: int) -> dict[str, int]:
+        """Environment for condition evaluation ``cycles_back`` cycles ago,
+        with $past placeholders resolved recursively.
+
+        Recursion terminates at the history horizon: beyond it every value
+        is 0 (SystemVerilog would give X; the synthesizable subset resets
+        history registers to 0, and we match that).
+        """
+        if cycles_back > self._history.depth:
+            env = {name: 0 for name in self._watched}
+            for placeholder, _, _ in self._past_requests:
+                env[placeholder] = 0
+            return env
+        env = {
+            name: self._history.value(name, cycles_back)
+            for name in self._watched
+        }
+        for placeholder, expr, cycles in self._past_requests:
+            env[placeholder] = expr.eval(
+                self._build_env(cycles_back + cycles))
+        return env

@@ -1,0 +1,38 @@
+"""The vendor FPGA toolchain model ("Vivado").
+
+Implements the monolithic compilation flow the paper contrasts VTI
+against (Table 1): whole-design synthesis with cross-module optimization,
+region-constrained placement, congestion-aware routing, static timing
+analysis, ILA insertion, bitstream generation, and the vendor's own
+(weak) incremental mode. Wall-clock costs come from
+:mod:`~repro.vendor.cost`, a model calibrated to the paper's published
+compile times and driven by real work metrics of these stages.
+"""
+
+from .resources import ResourceVector
+from .synth import ModuleSynth, SynthesisResult, synthesize
+from .place import PlacementResult, Region, place
+from .route import RouteResult, route
+from .timing import TimingResult, analyze_timing
+from .ila import IlaConfig, insert_ila
+from .flow import CompileResult, VivadoFlow
+from .reports import format_utilization_table
+
+__all__ = [
+    "CompileResult",
+    "IlaConfig",
+    "ModuleSynth",
+    "PlacementResult",
+    "Region",
+    "ResourceVector",
+    "RouteResult",
+    "SynthesisResult",
+    "TimingResult",
+    "VivadoFlow",
+    "analyze_timing",
+    "format_utilization_table",
+    "insert_ila",
+    "place",
+    "route",
+    "synthesize",
+]

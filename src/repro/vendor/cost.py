@@ -1,0 +1,130 @@
+"""Compile-time cost model.
+
+Simulated wall-clock seconds per flow stage, driven by real work metrics
+(LUTs mapped, cells placed, nets routed, frames emitted) with constants
+calibrated to the paper's published anchor points:
+
+- the 5400-core SERV SoC (~1.1 M LUTs, 95% of a U200) takes ~4.5 hours
+  through the monolithic flow (Figure 7's initial bars);
+- the vendor incremental mode recovers only ~10% (Figure 7);
+- VTI incremental recompiles land around 15 minutes — an 18x speedup —
+  dominated by checkpoint linking and partial bitstream generation, not
+  by the (tiny) recompiled partition (Section 5.2).
+
+A deterministic, seeded jitter (a few percent) makes repeated runs look
+like real tool runs without breaking reproducibility.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+# ---- calibration constants (seconds per unit of work) --------------------
+
+#: Synthesis: per LUT mapped. 1.1M LUTs -> ~67 min.
+SYNTH_PER_LUT = 3.7e-3
+SYNTH_FIXED = 45.0
+
+#: Placement: per cell placed (LUT+FF+...), superlinear in fill pressure.
+PLACE_PER_CELL = 1.45e-3
+PLACE_FIXED = 60.0
+
+#: Routing: per net, inflated by congestion.
+ROUTE_PER_NET = 2.9e-3
+ROUTE_FIXED = 60.0
+
+#: Bitstream generation: per configuration frame.
+BITGEN_PER_FRAME = 2.4e-3
+BITGEN_FIXED = 40.0
+
+#: Vendor incremental mode: fraction of the full flow it still re-runs
+#: (the tool re-places a large halo around any change; Section 5.2's
+#: hypothesis) plus a fixed analysis cost.
+VENDOR_INCREMENTAL_FRACTION = 0.88
+VENDOR_INCREMENTAL_FIXED = 240.0
+
+#: VTI: linking re-reads the routed checkpoint and stitches partitions —
+#: proportional to whole-design size but far cheaper than recompiling.
+VTI_LINK_PER_CELL = 2.2e-4
+VTI_LINK_FIXED = 90.0
+#: Partition setup cost of the initial VTI run (per partition).
+VTI_PARTITION_SETUP = 45.0
+#: Partial bitstream emission for one partition's region.
+VTI_PARTIAL_BITGEN_FIXED = 50.0
+
+JITTER = 0.03
+
+
+def jitter(seed: str, *context) -> float:
+    """Deterministic multiplier in [1-JITTER, 1+JITTER]."""
+    material = ":".join([seed, *map(str, context)]).encode()
+    digest = hashlib.sha256(material).digest()
+    unit = int.from_bytes(digest[:8], "big") / 2 ** 64
+    return 1.0 + JITTER * (2.0 * unit - 1.0)
+
+
+def synth_seconds(work_luts: int, seed: str = "", run: int = 0) -> float:
+    return (SYNTH_FIXED + SYNTH_PER_LUT * work_luts) \
+        * jitter(seed, "synth", run)
+
+
+def place_seconds(cells: int, congestion: float,
+                  seed: str = "", run: int = 0) -> float:
+    pressure = 1.0 + 1.6 * max(0.0, congestion - 0.7) / 0.3
+    return (PLACE_FIXED + PLACE_PER_CELL * cells * pressure) \
+        * jitter(seed, "place", run)
+
+
+def route_seconds(nets: int, congestion: float,
+                  seed: str = "", run: int = 0) -> float:
+    detour = 1.0 + 2.5 * congestion ** 3
+    return (ROUTE_FIXED + ROUTE_PER_NET * nets * detour) \
+        * jitter(seed, "route", run)
+
+
+def bitgen_seconds(frames: int, seed: str = "", run: int = 0) -> float:
+    return (BITGEN_FIXED + BITGEN_PER_FRAME * frames) \
+        * jitter(seed, "bitgen", run)
+
+
+def vendor_incremental_seconds(full_seconds: float,
+                               seed: str = "", run: int = 0) -> float:
+    """The vendor's incremental mode: barely better than from scratch."""
+    return (VENDOR_INCREMENTAL_FIXED
+            + VENDOR_INCREMENTAL_FRACTION * full_seconds) \
+        * jitter(seed, "vendor-incr", run)
+
+
+def vti_link_seconds(design_cells: int, seed: str = "", run: int = 0
+                     ) -> float:
+    return (VTI_LINK_FIXED + VTI_LINK_PER_CELL * design_cells) \
+        * jitter(seed, "vti-link", run)
+
+
+def format_duration(seconds: float) -> str:
+    """Human-friendly duration (the benchmarks print these)."""
+    if seconds < 90:
+        return f"{seconds:.0f} s"
+    if seconds < 5400:
+        return f"{seconds / 60:.1f} min"
+    return f"{seconds / 3600:.2f} h"
+
+
+def device_frame_count(device) -> int:
+    from ..fpga.frames import FrameSpace
+    return sum(FrameSpace(slr).frame_count() for slr in device.slrs)
+
+
+def estimate_full_compile_seconds(work_luts: int, cells: int, nets: int,
+                                  congestion: float, frames: int,
+                                  seed: str = "", run: int = 0) -> dict:
+    """Stage breakdown of one monolithic compile."""
+    out = {
+        "synth": synth_seconds(work_luts, seed, run),
+        "place": place_seconds(cells, congestion, seed, run),
+        "route": route_seconds(nets, congestion, seed, run),
+        "bitgen": bitgen_seconds(frames, seed, run),
+    }
+    out["total"] = math.fsum(out.values())
+    return out

@@ -1,0 +1,87 @@
+"""Integrated Logic Analyzer insertion.
+
+The vendor's debug instrument the paper contrasts Zoomie against
+(Sections 2.1, 5.5): probes must be chosen *before* compilation, capture
+a bounded window of cycles into BRAM, add real resource and congestion
+overhead, and — the core pain — changing the probe set means a full
+recompile. :func:`insert_ila` models all of that; the ILA-based debug
+loop lives in :mod:`repro.debug.ila_flow`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import FlowError
+from .resources import ResourceVector
+from .synth import BRAM36_BITS
+
+#: Practical probe budget before the tool falls over (paper: "a very
+#: limited subset of signals").
+MAX_PROBE_BITS = 4096
+
+
+@dataclass(frozen=True)
+class IlaConfig:
+    """One ILA core's configuration."""
+
+    #: Probed signals: (flat name, width).
+    probes: tuple[tuple[str, int], ...]
+    #: Capture window depth in cycles.
+    depth: int = 1024
+
+    @property
+    def probe_bits(self) -> int:
+        return sum(width for _, width in self.probes)
+
+    def __post_init__(self):
+        if not self.probes:
+            raise FlowError("an ILA needs at least one probe")
+        if self.probe_bits > MAX_PROBE_BITS:
+            raise FlowError(
+                f"ILA probe budget exceeded: {self.probe_bits} bits "
+                f"> {MAX_PROBE_BITS} (the vendor tool's practical limit)")
+
+
+@dataclass
+class IlaInsertion:
+    """Result of inserting one or more ILAs."""
+
+    configs: list[IlaConfig] = field(default_factory=list)
+    resources: ResourceVector = field(default_factory=ResourceVector)
+    #: Added congestion (fraction of device) from probe routing.
+    congestion_delta: float = 0.0
+
+
+def ila_resources(config: IlaConfig) -> ResourceVector:
+    """Hardware cost of one ILA core.
+
+    Capture storage is BRAM (``probe_bits x depth``); trigger comparators
+    and pipeline registers cost roughly two LUTs and two FFs per probed
+    bit, plus a fixed controller.
+    """
+    bits = config.probe_bits
+    brams = math.ceil(bits * config.depth / BRAM36_BITS)
+    return ResourceVector(
+        lut=2 * bits + 150,
+        ff=2 * bits + 120,
+        bram=brams,
+    )
+
+
+def insert_ila(configs: list[IlaConfig],
+               device_luts: int) -> IlaInsertion:
+    """Aggregate the cost of a set of ILA cores on a device.
+
+    ``congestion_delta`` models probe routing pressure: every probed bit
+    must be hauled to the capture core, often across the die.
+    """
+    insertion = IlaInsertion(configs=list(configs))
+    total_bits = 0
+    for config in configs:
+        insertion.resources = insertion.resources + ila_resources(config)
+        total_bits += config.probe_bits
+    insertion.congestion_delta = min(
+        0.15, 3.0 * total_bits / max(device_luts, 1))
+    return insertion

@@ -1,0 +1,450 @@
+"""Placement: assign logic to device regions and flip-flops to BELs.
+
+Two layers:
+
+- a **coarse floorplan** distributing each (possibly constrained) part of
+  the design over column ranges of specific SLRs, with capacity checks;
+- for designs small enough to have a flat netlist, **BEL assignment** of
+  every register bit to a concrete ``(SLR, column, row, FF slot)`` — the
+  source of the logic location file that state readback matches names
+  against (paper Section 3.2).
+
+Constraints are hierarchical-prefix keyed regions (the model of Vivado
+pblocks + ``CONSTRAIN_SLR`` Tcl the paper uses); VTI supplies them to
+keep each debugged partition inside one SLR (Section 3.5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..config.logic_loc import LLEntry, LogicLocationFile
+from ..errors import PlacementError
+from ..fpga.device import Device, FFS_PER_CLB, REGION_ROWS
+from ..fpga.frames import FrameSpace
+from ..rtl.netlist import Netlist
+from .resources import ResourceVector
+from .synth import SynthesisResult
+
+
+@dataclass(frozen=True)
+class Region:
+    """A placement rectangle: column span x clock-region span of one SLR."""
+
+    slr: int
+    col_lo: int
+    col_hi: int
+    region_lo: int = 0
+    region_hi: int = 0
+
+    def columns(self, device: Device):
+        slr = device.slr(self.slr)
+        return [c for c in slr.columns
+                if self.col_lo <= c.index <= self.col_hi]
+
+    def capacity(self, device: Device) -> dict[str, int]:
+        slr = device.slr(self.slr)
+        rows = (self.region_hi - self.region_lo + 1) * REGION_ROWS
+        if rows <= 0 or self.region_hi >= slr.clock_regions:
+            raise PlacementError(f"region rows out of range: {self}")
+        luts = ffs = lutram = bram = 0
+        for column in self.columns(device):
+            if column.kind in ("CLB", "CLBM"):
+                luts += 8 * rows
+                ffs += 16 * rows
+                if column.kind == "CLBM":
+                    lutram += 8 * rows
+            elif column.kind == "BRAM":
+                bram += rows // 5
+        return {"LUT": luts, "FF": ffs, "LUTRAM": lutram, "BRAM": bram}
+
+    def clock_regions(self) -> set[int]:
+        return set(range(self.region_lo, self.region_hi + 1))
+
+    def __str__(self) -> str:
+        return (f"SLR{self.slr}[C{self.col_lo}:C{self.col_hi}]"
+                f"[R{self.region_lo}:R{self.region_hi}]")
+
+
+def whole_slr(device: Device, slr: int) -> Region:
+    the_slr = device.slr(slr)
+    return Region(slr=slr, col_lo=0,
+                  col_hi=the_slr.columns[-1].index,
+                  region_lo=0, region_hi=the_slr.clock_regions - 1)
+
+
+def whole_device_regions(device: Device) -> list[Region]:
+    return [whole_slr(device, index) for index in range(device.slr_count)]
+
+
+@dataclass(frozen=True)
+class MemoryPlacement:
+    """Where one memory's contents live in configuration space.
+
+    A memory owns a contiguous run of whole content frames of one column
+    (frames are never shared between memories, so frame-level writes and
+    readback stay per-memory). ``start_frame`` indexes the column's
+    content-frame sequence from clock region 0.
+    """
+
+    name: str
+    slr: int
+    column: int
+    column_kind: str  # BRAM or CLBM (LUTRAM)
+    start_frame: int
+    bits: int
+
+    def frame_count(self) -> int:
+        from ..fpga.frames import FRAME_WORDS
+        frame_bits = FRAME_WORDS * 32
+        return max(1, math.ceil(self.bits / frame_bits))
+
+    def locate_bit(self, space, bit_index: int):
+        """(FrameAddress, offset-in-frame) of one content bit."""
+        from ..fpga.frames import FRAME_WORDS
+        frame_bits = FRAME_WORDS * 32
+        absolute = self.start_frame * frame_bits + bit_index
+        return space.content_location(
+            self.column, self.column_kind, 0, absolute)
+
+    def frame_addresses(self, space) -> list:
+        from ..fpga.frames import FRAME_WORDS
+        frame_bits = FRAME_WORDS * 32
+        return [
+            self.locate_bit(space, index * frame_bits)[0]
+            for index in range(self.frame_count())
+        ]
+
+    def covers_frame(self, space, address) -> Optional[int]:
+        """If ``address`` is one of this memory's frames, return the
+        bit base it starts at; else None."""
+        from ..fpga.frames import FRAME_WORDS
+        frame_bits = FRAME_WORDS * 32
+        per_region = space.content_capacity_bits(self.column_kind)
+        if address.column != self.column:
+            return None
+        minors = per_region // frame_bits
+        index = address.region * minors + address.minor
+        if self.start_frame <= index < self.start_frame \
+                + self.frame_count():
+            return (index - self.start_frame) * frame_bits
+        return None
+
+
+@dataclass
+class PlacementResult:
+    """Output of placement."""
+
+    device: Device
+    #: Hierarchical prefix -> region it was placed in ("" = the remainder).
+    regions: dict[str, Region]
+    occupancy: dict[int, ResourceVector]
+    ll: Optional[LogicLocationFile]
+    #: Half-perimeter wirelength estimate (arbitrary units).
+    wirelength: float
+    cells_placed: int
+    #: SLR boundary crossings of the coarse floorplan.
+    slr_crossings: int = 0
+    spilled: dict[str, ResourceVector] = field(default_factory=dict)
+    #: Memory name -> content-frame placement (flat designs only).
+    memory_map: dict[str, MemoryPlacement] = field(default_factory=dict)
+
+    def utilization(self, slr: int) -> float:
+        """Binding utilization across all resource kinds (fit check)."""
+        capacity = self.device.slr(slr).totals()
+        return self.occupancy.get(
+            slr, ResourceVector()).max_ratio(capacity)
+
+    def logic_utilization(self, slr: int) -> float:
+        """LUT fill fraction — the quantity routing congestion tracks.
+
+        BRAM/LUTRAM columns sit beside their own routing; a BRAM-bound
+        design does not congest the general fabric the way LUT fill does.
+        """
+        capacity = self.device.slr(slr).totals()
+        if not capacity["LUT"]:
+            return 0.0
+        return self.occupancy.get(
+            slr, ResourceVector()).lut / capacity["LUT"]
+
+    def peak_utilization(self) -> float:
+        return max(
+            (self.logic_utilization(index)
+             for index in range(self.device.slr_count)), default=0.0)
+
+
+class _BelCursor:
+    """Sequential FF slot allocator within one region."""
+
+    def __init__(self, device: Device, region: Region):
+        self.device = device
+        self.region = region
+        self.columns = [c for c in region.columns(device)
+                        if c.kind in ("CLB", "CLBM")]
+        if not self.columns:
+            raise PlacementError(
+                f"region {region} has no logic columns")
+        self.row_lo = region.region_lo * REGION_ROWS
+        self.row_hi = (region.region_hi + 1) * REGION_ROWS - 1
+        self._col = 0
+        self._row = self.row_lo
+        self._slot = 0
+
+    def next_slot(self) -> tuple[int, int, int]:
+        """Returns (column_index, row, ff_slot); advances the cursor."""
+        if self._col >= len(self.columns):
+            raise PlacementError(
+                f"region {self.region} ran out of FF slots")
+        out = (self.columns[self._col].index, self._row, self._slot)
+        self._slot += 1
+        if self._slot == FFS_PER_CLB:
+            self._slot = 0
+            self._row += 1
+            if self._row > self.row_hi:
+                self._row = self.row_lo
+                self._col += 1
+        return out
+
+
+def _static_region(device: Device,
+                   constraints: dict[str, Region]) -> Region:
+    """The fallback region for unconstrained (static) logic.
+
+    Reserved partition regions are exclusive — a reconfigured partition's
+    frames must not hold static flip-flops — so static logic starts in
+    the first column span free of any constraint.
+    """
+    for slr_index in range(device.slr_count):
+        slr = device.slr(slr_index)
+        taken_hi = -1
+        for region in constraints.values():
+            if region.slr == slr_index:
+                taken_hi = max(taken_hi, region.col_hi)
+        if taken_hi < slr.columns[-1].index:
+            return Region(
+                slr=slr_index, col_lo=taken_hi + 1,
+                col_hi=slr.columns[-1].index,
+                region_lo=0, region_hi=slr.clock_regions - 1)
+    raise PlacementError(
+        "partition regions cover every column of every SLR; no room "
+        "for static logic")
+
+
+def _region_for(prefix_owner: str, constraints: dict[str, Region],
+                fallback: Region) -> tuple[str, Region]:
+    """Longest-prefix constraint match for a signal owner path."""
+    best_key = ""
+    best: Optional[Region] = None
+    for key, region in constraints.items():
+        if prefix_owner == key or prefix_owner.startswith(key + "."):
+            if len(key) > len(best_key) or best is None:
+                best_key, best = key, region
+    if best is None:
+        return "", fallback
+    return best_key, best
+
+
+def place(synth: SynthesisResult, device: Device,
+          flat: Optional[Netlist] = None,
+          constraints: Optional[dict[str, Region]] = None,
+          utilization_limit: float = 0.995) -> PlacementResult:
+    """Place a synthesized design.
+
+    Raises :class:`PlacementError` when any SLR or constrained region
+    overflows. With ``flat`` provided, emits the logic location file.
+    """
+    constraints = dict(constraints or {})
+
+    # ---- coarse floorplan: spread totals over SLRs ----------------------
+    totals = synth.totals
+    occupancy: dict[int, ResourceVector] = {
+        index: ResourceVector() for index in range(device.slr_count)}
+    regions: dict[str, Region] = dict(constraints)
+
+    remaining = totals
+    # Constrained parts land in their regions first. Without a flat
+    # netlist we cannot size an arbitrary prefix, so constraints on
+    # hierarchy prefixes require that the prefix names a unique module
+    # instance path whose module synthesis totals we can look up via the
+    # path's leaf module name (callers pass module names for aggregates).
+    for key in constraints:
+        module_name = key.rsplit(".", 1)[-1]
+        vector = None
+        for candidate in (key, module_name):
+            if candidate in synth.per_module:
+                vector = synth.per_module[candidate].total
+                break
+        if vector is None:
+            vector = ResourceVector()
+        region = constraints[key]
+        capacity = region.capacity(device)
+        if not vector.fits_in(capacity):
+            raise PlacementError(
+                f"constraint {key!r}: {vector.as_dict()} does not fit in "
+                f"{region} with capacity {capacity}")
+        occupancy[region.slr] = occupancy[region.slr] + vector
+        remaining = ResourceVector(
+            lut=max(0, remaining.lut - vector.lut),
+            ff=max(0, remaining.ff - vector.ff),
+            lutram=max(0, remaining.lutram - vector.lutram),
+            bram=max(0, remaining.bram - vector.bram))
+
+    # The unconstrained remainder spreads *proportionally* across SLRs
+    # (real placers balance SLR occupancy to keep congestion uniform),
+    # then any residue from rounding/headroom differences fills greedily.
+    slr_crossings = 0
+    to_spread = remaining
+    headrooms: dict[int, ResourceVector] = {}
+    total_headroom = ResourceVector()
+    for index in range(device.slr_count):
+        capacity = device.slr(index).totals()
+        headroom = ResourceVector(
+            lut=max(0, math.floor(capacity["LUT"] * utilization_limit)
+                    - occupancy[index].lut),
+            ff=max(0, math.floor(capacity["FF"] * utilization_limit)
+                   - occupancy[index].ff),
+            lutram=max(0, math.floor(capacity["LUTRAM"] * utilization_limit)
+                       - occupancy[index].lutram),
+            bram=max(0, math.floor(capacity["BRAM"] * utilization_limit)
+                     - occupancy[index].bram))
+        headrooms[index] = headroom
+        total_headroom = total_headroom + headroom
+
+    def _take(index: int, want: ResourceVector) -> None:
+        nonlocal to_spread, slr_crossings
+        headroom = headrooms[index]
+        got = ResourceVector(
+            lut=min(want.lut, headroom.lut, to_spread.lut),
+            ff=min(want.ff, headroom.ff, to_spread.ff),
+            lutram=min(want.lutram, headroom.lutram, to_spread.lutram),
+            bram=min(want.bram, headroom.bram, to_spread.bram))
+        occupancy[index] = occupancy[index] + got
+        headrooms[index] = ResourceVector(
+            lut=headroom.lut - got.lut, ff=headroom.ff - got.ff,
+            lutram=headroom.lutram - got.lutram,
+            bram=headroom.bram - got.bram)
+        to_spread = ResourceVector(
+            lut=to_spread.lut - got.lut, ff=to_spread.ff - got.ff,
+            lutram=to_spread.lutram - got.lutram,
+            bram=to_spread.bram - got.bram)
+        if got.total_cells() and index > 0:
+            slr_crossings += 1
+
+    # A design that fits inside a single SLR stays there — crossing the
+    # interposer costs timing, so real placers only spill when forced.
+    if to_spread.total_cells():
+        for index in range(device.slr_count):
+            if to_spread.fits_in(headrooms[index].as_dict()):
+                _take(index, to_spread)
+                break
+    if to_spread.total_cells() and total_headroom.total_cells():
+        for index in range(device.slr_count):
+            def share(mine: int, total: int, want: int) -> int:
+                return math.ceil(want * mine / total) if total else 0
+            _take(index, ResourceVector(
+                lut=share(headrooms[index].lut, total_headroom.lut,
+                          remaining.lut),
+                ff=share(headrooms[index].ff, total_headroom.ff,
+                         remaining.ff),
+                lutram=share(headrooms[index].lutram,
+                             total_headroom.lutram, remaining.lutram),
+                bram=share(headrooms[index].bram, total_headroom.bram,
+                           remaining.bram)))
+    for index in range(device.slr_count):
+        if to_spread.total_cells() == 0:
+            break
+        _take(index, to_spread)
+    if to_spread.total_cells() > 0:
+        raise PlacementError(
+            f"design does not fit on {device.name}: "
+            f"{to_spread.as_dict()} left over "
+            f"(totals {totals.as_dict()}, "
+            f"capacity {device.totals()})")
+
+    # ---- BEL assignment for small (flattened) designs --------------------
+    ll: Optional[LogicLocationFile] = None
+    memory_map: dict[str, MemoryPlacement] = {}
+    if flat is not None:
+        ll = LogicLocationFile()
+        fallback = _static_region(device, constraints)
+        memory_map = _place_memories(device, flat, constraints, fallback)
+        cursors: dict[str, _BelCursor] = {}
+        spaces = {index: FrameSpace(device.slr(index))
+                  for index in range(device.slr_count)}
+        for name, reg in sorted(flat.registers.items()):
+            owner = flat.owner.get(name, "")
+            key, region = _region_for(owner, constraints, fallback)
+            cursor = cursors.get(key)
+            if cursor is None:
+                cursor = cursors[key] = _BelCursor(device, region)
+            for bit in range(reg.width):
+                column, row, slot = cursor.next_slot()
+                frame, offset = spaces[region.slr].ff_location(
+                    column, row, slot)
+                ll.add(LLEntry(name=name, bit=bit, slr=region.slr,
+                               frame=frame, offset=offset))
+
+    # ---- wirelength model -------------------------------------------------
+    cells = totals.total_cells()
+    spread = max(1.0, cells ** 0.5)
+    wirelength = cells * spread * 0.1 + slr_crossings * 1_000.0
+
+    return PlacementResult(
+        device=device, regions=regions, occupancy=occupancy, ll=ll,
+        wirelength=wirelength, cells_placed=cells,
+        slr_crossings=slr_crossings, memory_map=memory_map)
+
+
+def _place_memories(device: Device, flat: Netlist,
+                    constraints: dict[str, Region],
+                    fallback: Region) -> dict[str, MemoryPlacement]:
+    """Assign each memory a content-frame home (column-region spans).
+
+    BRAM-inferred memories go to BRAM columns, LUTRAM-inferred ones to
+    SLICEM (CLBM) columns, within the region their owner is constrained
+    to. Allocation is at column-region granularity, first-fit.
+    """
+    from ..fpga.frames import FrameSpace
+    from .synth import LUTRAM_MAX_BITS
+
+    from ..fpga.frames import FRAME_WORDS
+    frame_bits = FRAME_WORDS * 32
+
+    # (slr, column) -> next free content frame index.
+    cursors: dict[tuple[int, int], int] = {}
+    out: dict[str, MemoryPlacement] = {}
+    for name, memory in sorted(flat.memories.items()):
+        owner = flat.owner.get(name, "")
+        _key, region = _region_for(owner, constraints, fallback)
+        slr = device.slr(region.slr)
+        space = FrameSpace(slr)
+        has_async = any(not p.sync for p in memory.read_ports)
+        kind = "CLBM" if has_async and memory.bits <= LUTRAM_MAX_BITS \
+            else "BRAM"
+        candidates = [c for c in region.columns(device)
+                      if c.kind == kind]
+        if not candidates:
+            # Fall back to any column of the right kind on the SLR.
+            candidates = slr.columns_of_kind(kind)
+        per_region = space.content_capacity_bits(kind)
+        column_frames = slr.clock_regions * per_region // frame_bits
+        frames_needed = max(1, math.ceil(memory.bits / frame_bits))
+        placed = False
+        for column in candidates:
+            cursor = cursors.get((region.slr, column.index), 0)
+            if cursor + frames_needed <= column_frames:
+                out[name] = MemoryPlacement(
+                    name=name, slr=region.slr, column=column.index,
+                    column_kind=kind, start_frame=cursor,
+                    bits=memory.bits)
+                cursors[(region.slr, column.index)] = \
+                    cursor + frames_needed
+                placed = True
+                break
+        if not placed:
+            raise PlacementError(
+                f"no {kind} column has room for memory {name!r} "
+                f"({memory.bits} bits)")
+    return out

@@ -1,0 +1,47 @@
+"""Human-readable flow reports (Table 2 / timing-summary formatting)."""
+
+from __future__ import annotations
+
+from .flow import CompileResult
+from .cost import format_duration
+
+
+def format_utilization_table(result: CompileResult) -> str:
+    """Render utilization in the paper's Table 2 layout."""
+    used = result.used_resources()
+    lines = [
+        f"Resource usage of {result.name!r} on {result.device.name}",
+        f"{'':10s} {'Utilization':>12s} {'Percentage':>11s}",
+    ]
+    for kind in ("LUT", "LUTRAM", "FF", "BRAM"):
+        percent = result.utilization.get(kind, 0.0)
+        lines.append(f"{kind:10s} {used.get(kind, 0):>12,d} {percent:>10.2f}%")
+    return "\n".join(lines)
+
+
+def format_timing_summary(result: CompileResult, top_paths: int = 10) -> str:
+    lines = [f"Timing summary for {result.name!r} "
+             f"({'MET' if result.timing.met else 'FAILED'})"]
+    for domain, fmax in sorted(result.timing.fmax_mhz.items()):
+        slack = result.timing.slack_ns[domain]
+        lines.append(
+            f"  {domain}: Fmax {fmax:7.1f} MHz, slack {slack:+.2f} ns")
+    lines.append(f"  top {top_paths} paths:")
+    for path in result.timing.top_paths(top_paths):
+        lines.append(f"    {path}")
+    return "\n".join(lines)
+
+
+def format_compile_summary(result: CompileResult) -> str:
+    lines = [
+        f"{result.flow} compile of {result.name!r}: "
+        f"{format_duration(result.total_seconds)}",
+    ]
+    for stage in ("synth", "place", "route", "bitgen"):
+        if stage in result.seconds:
+            lines.append(
+                f"  {stage:7s} {format_duration(result.seconds[stage])}")
+    lines.append(
+        f"  peak SLR utilization "
+        f"{result.placement.peak_utilization() * 100:.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""FPGA resource accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """Counts of the four resource kinds tracked throughout the flow
+    (the same rows as the paper's Table 2)."""
+
+    lut: int = 0
+    ff: int = 0
+    lutram: int = 0
+    bram: int = 0
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            lut=self.lut + other.lut,
+            ff=self.ff + other.ff,
+            lutram=self.lutram + other.lutram,
+            bram=self.bram + other.bram,
+        )
+
+    def scaled(self, factor: float) -> "ResourceVector":
+        """Multiply every count (rounding up — hardware is integral)."""
+        import math
+        return ResourceVector(
+            lut=math.ceil(self.lut * factor),
+            ff=math.ceil(self.ff * factor),
+            lutram=math.ceil(self.lutram * factor),
+            bram=math.ceil(self.bram * factor),
+        )
+
+    def times(self, count: int) -> "ResourceVector":
+        return ResourceVector(
+            lut=self.lut * count, ff=self.ff * count,
+            lutram=self.lutram * count, bram=self.bram * count)
+
+    def as_dict(self) -> dict[str, int]:
+        return {"LUT": self.lut, "FF": self.ff,
+                "LUTRAM": self.lutram, "BRAM": self.bram}
+
+    def fits_in(self, capacity: dict[str, int]) -> bool:
+        mine = self.as_dict()
+        return all(mine[kind] <= capacity.get(kind, 0) for kind in mine)
+
+    def max_ratio(self, capacity: dict[str, int]) -> float:
+        """Largest utilization fraction across kinds (the binding one)."""
+        mine = self.as_dict()
+        ratios = [
+            mine[kind] / capacity[kind]
+            for kind in mine if capacity.get(kind)
+        ]
+        return max(ratios) if ratios else 0.0
+
+    def total_cells(self) -> int:
+        return self.lut + self.ff + self.lutram + self.bram
+
+    @classmethod
+    def from_dict(cls, data: dict[str, int]) -> "ResourceVector":
+        return cls(lut=data.get("LUT", 0), ff=data.get("FF", 0),
+                   lutram=data.get("LUTRAM", 0), bram=data.get("BRAM", 0))

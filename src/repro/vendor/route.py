@@ -1,0 +1,52 @@
+"""Routing model: net completion, congestion, and wirelength.
+
+Abstract but load-bearing: congestion is derived from real placement
+occupancy, drives both the timing model's delay penalty (why the paper's
+95%-full SoC fails at 100 MHz) and the cost model's routing runtime, and
+an overfull device fails with :class:`~repro.errors.RoutingError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import RoutingError
+from .place import PlacementResult
+from .synth import SynthesisResult
+
+#: Beyond this utilization the router gives up (ripup/retry exhausted).
+ROUTABLE_LIMIT = 0.997
+
+
+@dataclass
+class RouteResult:
+    """Routing outcome."""
+
+    nets: int
+    wirelength: float
+    #: Peak per-SLR utilization, the congestion proxy in [0, 1).
+    congestion: float
+    slr_crossings: int
+    success: bool = True
+
+
+def route(synth: SynthesisResult,
+          placement: PlacementResult) -> RouteResult:
+    """Route a placed design; raises :class:`RoutingError` if hopeless."""
+    congestion = placement.peak_utilization()
+    if congestion > ROUTABLE_LIMIT:
+        raise RoutingError(
+            f"unroutable: peak SLR utilization "
+            f"{congestion * 100:.1f}% exceeds "
+            f"{ROUTABLE_LIMIT * 100:.1f}%")
+    nets = synth.total_nets()
+    # Congested designs detour: wirelength inflates superlinearly as the
+    # router spreads around hotspots.
+    detour = 1.0 + 2.0 * congestion ** 4
+    return RouteResult(
+        nets=nets,
+        wirelength=placement.wirelength * detour,
+        congestion=congestion,
+        slr_crossings=placement.slr_crossings,
+        success=True,
+    )

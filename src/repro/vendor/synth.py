@@ -1,0 +1,374 @@
+"""Synthesis: RTL modules -> technology-mapped resource netlists.
+
+Maps each *unique* module definition once and aggregates by instance
+count, which is what lets million-LUT manycore designs (5400 SERV cores)
+synthesize in seconds of real time while the cost model still charges the
+monolithic flow for every instance — exactly the asymmetry VTI exploits.
+
+Mapping rules (6-input LUT target, documented per operator in
+:func:`lut_cost`): registers map 1:1 to FFs; memories with asynchronous
+reads and <=1024 bits map to LUTRAM (64 bits per SLICEM LUT), everything
+else to BRAM36 blocks; expressions decompose into LUT networks with a
+packing factor reflecting LUT6 fusion of small operators.
+
+Cross-module optimization (the vendor's "global" mode, Table 1) shrinks
+logic by a documented factor but makes results depend on the *whole*
+design — the reason a one-line change invalidates a monolithic compile.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from graphlib import TopologicalSorter
+
+from .._bits import clog2
+from ..rtl.expr import (
+    BinaryOp,
+    Concat,
+    Const,
+    Expr,
+    Mux,
+    Ref,
+    Repl,
+    Slice,
+    UnaryOp,
+)
+from ..rtl.module import Memory, Module
+from .resources import ResourceVector
+
+#: LUT6 packing: adjacent small operators fuse into shared LUTs.
+PACKING_FACTOR = 0.85
+#: Cross-module (global) optimization shrink on LUTs, applied by the
+#: monolithic vendor flow. Partition-local optimization (VTI, Table 1)
+#: recovers less — the "area inefficiency" cost of incrementality.
+GLOBAL_OPT_FACTOR = 0.93
+LOCAL_OPT_FACTOR = 0.95
+#: Bits per LUTRAM-configured LUT.
+LUTRAM_BITS_PER_LUT = 64
+#: Bits per BRAM36 block.
+BRAM36_BITS = 36_864
+#: Memories at or below this size with async reads become LUTRAM.
+LUTRAM_MAX_BITS = 1024
+
+
+def lut_cost(expr: Expr) -> int:
+    """LUTs needed by one expression tree (before packing).
+
+    Per-operator costs for a 6-input LUT architecture:
+
+    - add/sub: 1 LUT per bit (carry chains ride along);
+    - multiply: quadratic partial products, ``w*w/4 + w``;
+    - bitwise: 1 LUT per bit;
+    - constant shifts, slices, concats, replication: wiring, free;
+    - variable shifts: a mux layer per shift-amount bit;
+    - equality: 3 bit-pairs per LUT plus a reduction tree;
+    - ordered compares: carry compare, 1 LUT per 2 bits;
+    - mux: 1 LUT per bit (two 2:1 muxes pack per LUT -> 0.5, handled by
+      the packing factor);
+    - reductions: a 6-ary tree.
+    """
+    total = 0
+    for node in expr.walk():
+        total += _node_cost(node)
+    return total
+
+
+def _node_cost(node: Expr) -> int:
+    if isinstance(node, (Const, Ref, Slice, Concat, Repl)):
+        return 0
+    if isinstance(node, UnaryOp):
+        if node.op in ("~", "!"):
+            return 0  # inversions fuse into consuming LUTs
+        if node.op == "-":
+            return node.width
+        # reductions
+        return _tree_luts(node.a.width, arity=6)
+    if isinstance(node, Mux):
+        return node.width
+    if isinstance(node, BinaryOp):
+        op = node.op
+        width = node.a.width
+        if op in ("+", "-"):
+            return node.width
+        if op == "*":
+            return width * width // 4 + width
+        if op in ("&", "|", "^"):
+            return node.width
+        if op in ("<<", ">>", ">>>"):
+            if isinstance(node.b, Const):
+                return 0
+            return node.width * max(1, clog2(max(node.width, 2)))
+        if op in ("==", "!="):
+            return math.ceil(width / 3) + _tree_luts(
+                math.ceil(width / 3), arity=6)
+        if op in ("<", ">", "<=", ">=", "<s", ">s", "<=s", ">=s"):
+            return math.ceil(width / 2)
+        if op in ("&&", "||"):
+            return 1
+    return 1
+
+
+def _tree_luts(leaves: int, arity: int) -> int:
+    if leaves <= 1:
+        return 0
+    total = 0
+    while leaves > 1:
+        groups = math.ceil(leaves / arity)
+        total += groups
+        leaves = groups
+    return total
+
+
+def _memory_resources(memory: Memory) -> ResourceVector:
+    has_async_read = any(not p.sync for p in memory.read_ports)
+    if has_async_read and memory.bits <= LUTRAM_MAX_BITS:
+        lutram = math.ceil(memory.bits / LUTRAM_BITS_PER_LUT)
+        # Address decode/mux logic around the LUTRAM.
+        overhead = math.ceil(lutram / 8)
+        return ResourceVector(lut=overhead, lutram=lutram)
+    brams = math.ceil(memory.bits / BRAM36_BITS)
+    return ResourceVector(lut=2 * len(memory.read_ports), bram=brams)
+
+
+@dataclass
+class ModuleSynth:
+    """Mapping result for one module definition (excluding children)."""
+
+    name: str
+    local: ResourceVector
+    #: Including all instantiated children.
+    total: ResourceVector
+    logic_levels: int
+    nets: int
+    child_instances: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class SynthesisResult:
+    """Whole-design synthesis output."""
+
+    top: str
+    per_module: dict[str, ModuleSynth]
+    #: Instances of each unique module in the full hierarchy.
+    instance_counts: dict[str, int]
+    totals: ResourceVector
+    #: Optimization mode: "global" (monolithic), "local" (partition), or
+    #: "none".
+    opt_mode: str
+    #: LUTs the tool actually processed (per instance — the cost driver).
+    work_luts: int
+
+    def module_totals(self, name: str) -> ResourceVector:
+        return self.per_module[name].total
+
+    def logic_levels(self) -> int:
+        return max(
+            (m.logic_levels for m in self.per_module.values()), default=1)
+
+    def total_nets(self) -> int:
+        return sum(
+            self.per_module[name].nets * count
+            for name, count in self.instance_counts.items())
+
+
+def _module_levels(module: Module) -> int:
+    """Logic depth in LUT levels through this module's local assigns."""
+    depth: dict[str, int] = {}
+    sorter: TopologicalSorter = TopologicalSorter()
+    for target, expr in module.assigns.items():
+        deps = [s for s in expr.signals() if s in module.assigns]
+        sorter.add(target, *deps)
+    try:
+        order = list(sorter.static_order())
+    except Exception:
+        return 8  # cyclic (caught elsewhere); report something bounded
+    for target in order:
+        expr = module.assigns.get(target)
+        if expr is None:
+            continue
+        base = max(
+            (depth.get(s, 0) for s in expr.signals()), default=0)
+        own = _expr_levels(expr)
+        depth[target] = base + own
+    inputs_to_regs = [
+        _expr_levels(reg.next) + max(
+            (depth.get(s, 0) for s in reg.next.signals()), default=0)
+        for reg in module.registers.values() if reg.next is not None
+    ]
+    candidates = list(depth.values()) + inputs_to_regs
+    return max(candidates, default=1) or 1
+
+
+def _expr_levels(expr: Expr) -> int:
+    """LUT depth of one expression tree (iterative post-order: deep
+    linear reduction chains would overflow Python's recursion limit)."""
+    levels: dict[int, int] = {}
+    stack: list[tuple[Expr, bool]] = [(expr, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if id(node) in levels:
+            continue
+        if isinstance(node, (Const, Ref)):
+            levels[id(node)] = 0
+            continue
+        kids = node.children()
+        if not expanded:
+            stack.append((node, True))
+            stack.extend((kid, False) for kid in kids)
+            continue
+        inner = max((levels[id(kid)] for kid in kids), default=0)
+        levels[id(node)] = inner + (1 if _node_cost(node) > 0 else 0)
+    return levels[id(expr)]
+
+
+def _synthesize_module(module: Module) -> tuple[ResourceVector, int, int]:
+    """Local (non-hierarchical) resources, levels, and net count."""
+    luts = 0
+    for expr in module.assigns.values():
+        luts += lut_cost(expr)
+    ffs = 0
+    for reg in module.registers.values():
+        ffs += reg.width
+        if reg.next is not None:
+            luts += lut_cost(reg.next)
+        if reg.enable is not None:
+            luts += lut_cost(reg.enable)
+        if reg.reset is not None:
+            luts += lut_cost(reg.reset)
+    vector = ResourceVector(lut=math.ceil(luts * PACKING_FACTOR), ff=ffs)
+    for memory in module.memories.values():
+        vector = vector + _memory_resources(memory)
+        for rport in memory.read_ports:
+            vector = vector + ResourceVector(lut=lut_cost(rport.addr))
+        for wport in memory.write_ports:
+            extra = (lut_cost(wport.addr) + lut_cost(wport.data)
+                     + lut_cost(wport.enable))
+            vector = vector + ResourceVector(lut=extra)
+    nets = (len(module.assigns) + len(module.registers)
+            + len(module.wires) + len(module.ports))
+    return vector, _module_levels(module), nets
+
+
+def synthesize_netlist(netlist, opt: str = "local") -> SynthesisResult:
+    """Technology-map an already-flattened design.
+
+    Zoomie's instrumentation (Debug Controller, monitors, pause buffers)
+    edits the *netlist*, post-elaboration — the same place the real tool
+    operates — so the flow needs a netlist-level mapping path. Produces a
+    single pseudo-module result.
+    """
+    luts = 0
+    ffs = 0
+    for expr in netlist.assigns.values():
+        luts += lut_cost(expr)
+    for reg in netlist.registers.values():
+        ffs += reg.width
+        if reg.next is not None:
+            luts += lut_cost(reg.next)
+        if reg.enable is not None:
+            luts += lut_cost(reg.enable)
+        if reg.reset is not None:
+            luts += lut_cost(reg.reset)
+    vector = ResourceVector(lut=math.ceil(luts * PACKING_FACTOR), ff=ffs)
+    for memory in netlist.memories.values():
+        vector = vector + _memory_resources(memory)
+    factor = {"global": GLOBAL_OPT_FACTOR, "local": LOCAL_OPT_FACTOR,
+              "none": 1.0}[opt]
+    vector = ResourceVector(
+        lut=math.ceil(vector.lut * factor), ff=vector.ff,
+        lutram=vector.lutram, bram=vector.bram)
+    # Logic depth over the flat assign graph.
+    depth: dict[str, int] = {}
+    for target in netlist.comb_order():
+        expr = netlist.assigns.get(target)
+        if expr is None:
+            continue
+        base = max((depth.get(s, 0) for s in expr.signals()), default=0)
+        depth[target] = base + _expr_levels(expr)
+    reg_levels = [
+        _expr_levels(reg.next) + max(
+            (depth.get(s, 0) for s in reg.next.signals()), default=0)
+        for reg in netlist.registers.values() if reg.next is not None
+    ]
+    levels = max(list(depth.values()) + reg_levels, default=1) or 1
+    nets = len(netlist.signals)
+    module_synth = ModuleSynth(
+        name=netlist.name, local=vector, total=vector,
+        logic_levels=levels, nets=nets)
+    return SynthesisResult(
+        top=netlist.name,
+        per_module={netlist.name: module_synth},
+        instance_counts={netlist.name: 1},
+        totals=vector,
+        opt_mode=opt,
+        work_luts=vector.lut,
+    )
+
+
+def synthesize(top: Module, global_opt: bool = True,
+               opt: str | None = None) -> SynthesisResult:
+    """Synthesize a module hierarchy.
+
+    ``opt`` selects the optimization scope per Table 1: ``"global"``
+    (monolithic cross-module, the vendor default), ``"local"``
+    (partition-local, what VTI's per-partition compiles get), or
+    ``"none"``. The legacy ``global_opt`` bool maps True -> global,
+    False -> none.
+    """
+    if opt is None:
+        opt = "global" if global_opt else "none"
+    if opt not in ("global", "local", "none"):
+        raise ValueError(f"unknown optimization mode {opt!r}")
+    # Collect unique modules and instance counts.
+    unique: dict[str, Module] = {}
+    counts: dict[str, int] = {}
+
+    def visit(module: Module, multiplier: int) -> None:
+        if module.name in unique and unique[module.name] is not module:
+            # Same name, different definition: disambiguate by identity.
+            raise ValueError(
+                f"two distinct module definitions named {module.name!r}")
+        unique[module.name] = module
+        counts[module.name] = counts.get(module.name, 0) + multiplier
+        for inst in module.instances.values():
+            visit(inst.module, multiplier)
+
+    visit(top, 1)
+
+    per_module: dict[str, ModuleSynth] = {}
+
+    def totals_of(module: Module, memo: dict[str, ResourceVector]
+                  ) -> ResourceVector:
+        if module.name in memo:
+            return memo[module.name]
+        local, levels, nets = _synthesize_module(module)
+        total = local
+        child_instances: dict[str, int] = {}
+        for inst in module.instances.values():
+            total = total + totals_of(inst.module, memo)
+            child_instances[inst.module.name] = \
+                child_instances.get(inst.module.name, 0) + 1
+        per_module[module.name] = ModuleSynth(
+            name=module.name, local=local, total=total,
+            logic_levels=levels, nets=nets,
+            child_instances=child_instances)
+        memo[module.name] = total
+        return total
+
+    totals = totals_of(top, {})
+    factor = {"global": GLOBAL_OPT_FACTOR, "local": LOCAL_OPT_FACTOR,
+              "none": 1.0}[opt]
+    if factor != 1.0:
+        totals = ResourceVector(
+            lut=math.ceil(totals.lut * factor),
+            ff=totals.ff, lutram=totals.lutram, bram=totals.bram)
+
+    return SynthesisResult(
+        top=top.name,
+        per_module=per_module,
+        instance_counts=counts,
+        totals=totals,
+        opt_mode=opt,
+        work_luts=totals.lut,
+    )

@@ -1,0 +1,25 @@
+"""VTI — the Vendor Tool Incrementalizer (paper Section 3.5).
+
+VTI splits a design into user-declared partitions, guides the vendor
+tool to synthesize and place-and-route each partition independently
+inside a reserved, over-provisioned region (``ER = resource * (1 + c)``),
+links the routed fragments after routing (Table 1's "after routing"
+linking), and loads updated partitions onto the FPGA through partial
+bitstreams — turning hours-long recompiles into minutes (~18x, Fig. 7).
+"""
+
+from .partition import DesignSplit, PartitionSpec
+from .estimate import estimate_requirements, DEFAULT_OVER_PROVISION
+from .floorplan import floorplan_partitions
+from .flow import VtiFlow, VtiCompileResult, VtiIncrementalResult
+
+__all__ = [
+    "DEFAULT_OVER_PROVISION",
+    "DesignSplit",
+    "PartitionSpec",
+    "VtiCompileResult",
+    "VtiFlow",
+    "VtiIncrementalResult",
+    "estimate_requirements",
+    "floorplan_partitions",
+]

@@ -1,0 +1,51 @@
+"""Resource estimation for partition regions (paper Section 3.5).
+
+For each resource kind the reserved region must satisfy::
+
+    ER = resource * (1 + c)
+    A_total >= max_resource ER
+
+where ``resource`` comes from the synthesized netlist and ``c`` is the
+over-provision coefficient trading area for timing (default 30%; the
+paper reports timing closure also held at 20% and 15%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..vendor.resources import ResourceVector
+
+#: The paper's default area overhead.
+DEFAULT_OVER_PROVISION = 0.30
+
+
+@dataclass(frozen=True)
+class RegionRequirement:
+    """What a partition's region must provide."""
+
+    partition_path: str
+    raw: ResourceVector
+    over_provision: float
+    estimated: ResourceVector
+
+    def satisfied_by(self, capacity: dict[str, int]) -> bool:
+        """``A_total >= max_resource ER`` checked per resource kind."""
+        return self.estimated.fits_in(capacity)
+
+    def expected_fill(self, capacity: dict[str, int]) -> float:
+        """Actual (raw) utilization of a satisfying region — the local
+        congestion the timing model sees inside the partition."""
+        return self.raw.max_ratio(capacity)
+
+
+def estimate_requirements(path: str, resources: ResourceVector,
+                          over_provision: float = DEFAULT_OVER_PROVISION
+                          ) -> RegionRequirement:
+    """Apply ``ER = resource * (1 + c)`` to every resource kind."""
+    return RegionRequirement(
+        partition_path=path,
+        raw=resources,
+        over_provision=over_provision,
+        estimated=resources.scaled(1.0 + over_provision),
+    )

@@ -1,0 +1,105 @@
+"""Floorplanning partition regions onto the device.
+
+VTI "guides Vivado to place all modules being debugged inside one FPGA
+chiplet to minimize cross-chiplet communication" (Section 3.5): every
+partition region is a contiguous column span within a single SLR, grown
+column by column until it satisfies the ``ER`` requirement, and aligned
+to clock-region boundaries so the partial-reconfiguration GSR mask maps
+cleanly onto it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import PlacementError
+from ..fpga.device import Device
+from ..vendor.place import Region
+from .estimate import RegionRequirement
+
+
+@dataclass
+class Floorplan:
+    """Assigned regions per partition path."""
+
+    device: Device
+    #: Every debugged partition lives in this SLR (one chiplet).
+    debug_slr: int
+    regions: dict[str, Region] = field(default_factory=dict)
+
+    def region_mask(self, path: str) -> int:
+        """GSR MASK bits covering this partition's clock regions."""
+        region = self.regions[path]
+        mask = 0
+        for index in range(region.region_lo, region.region_hi + 1):
+            mask |= 1 << index
+        return mask
+
+
+def _span_capacity(device: Device, slr: int, col_lo: int, col_hi: int,
+                   regions: int) -> dict[str, int]:
+    return Region(slr=slr, col_lo=col_lo, col_hi=col_hi,
+                  region_lo=0, region_hi=regions - 1).capacity(device)
+
+
+def floorplan_partitions(device: Device,
+                         requirements: list[RegionRequirement],
+                         debug_slr: int | None = None) -> Floorplan:
+    """Allocate a column span per partition, all inside one SLR.
+
+    Raises :class:`PlacementError` when the debug SLR cannot host every
+    partition — the paper argues a user's region of interest fits in one
+    chiplet; we enforce it.
+    """
+    if debug_slr is None:
+        debug_slr = device.primary_slr
+    slr = device.slr(debug_slr)
+    plan = Floorplan(device=device, debug_slr=debug_slr)
+
+    next_col = 0
+    max_col = slr.columns[-1].index
+    for requirement in requirements:
+        # Height: fewest clock regions able to host the FF demand of one
+        # column span, capped at the full SLR.
+        spans_regions = slr.clock_regions
+        # Grow a column window until capacity satisfies ER.
+        col_lo = next_col
+        col_hi = col_lo
+        while True:
+            if col_hi > max_col:
+                raise PlacementError(
+                    f"partition {requirement.partition_path!r} does not "
+                    f"fit in SLR{debug_slr} starting at column {col_lo} "
+                    f"(needs {requirement.estimated.as_dict()})")
+            capacity = _span_capacity(
+                device, debug_slr, col_lo, col_hi, spans_regions)
+            if requirement.satisfied_by(capacity):
+                break
+            col_hi += 1
+        # Shrink the height to the fewest aligned clock regions that
+        # still satisfy the requirement (keeps the GSR mask small).
+        best_hi_region = spans_regions - 1
+        for regions in range(1, spans_regions + 1):
+            capacity = _span_capacity(
+                device, debug_slr, col_lo, col_hi, regions)
+            if requirement.satisfied_by(capacity):
+                best_hi_region = regions - 1
+                break
+        plan.regions[requirement.partition_path] = Region(
+            slr=debug_slr, col_lo=col_lo, col_hi=col_hi,
+            region_lo=0, region_hi=best_hi_region)
+        next_col = col_hi + 1
+    return plan
+
+
+def region_frame_count(device: Device, region: Region) -> int:
+    """Configuration frames covering one region (partial bitstream size)."""
+    from ..fpga.frames import FrameSpace
+    space = FrameSpace(device.slr(region.slr))
+    columns = {c.index for c in region.columns(device)}
+    count = 0
+    for address in space.frames():
+        if address.column in columns \
+                and region.region_lo <= address.region <= region.region_hi:
+            count += 1
+    return count

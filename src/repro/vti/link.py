@@ -1,0 +1,89 @@
+"""Partition linking: stitching routed fragments after routing.
+
+Table 1: software links after compilation, the monolithic vendor flow
+never links, VTI links **after routing** — the static region's routed
+checkpoint is combined with freshly routed partition fragments. Linking
+enforces the partial-reconfiguration boundary contract: an updated
+partition must keep its port interface (names, widths, directions)
+bit-identical, because the static region's routing to the region pins is
+not re-done.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PartitionError
+from ..rtl.module import Instance, Module
+
+
+@dataclass(frozen=True)
+class LinkReport:
+    """Outcome of one link step."""
+
+    partition_path: str
+    boundary_nets: int
+    static_cells: int
+
+
+def check_boundary_compatible(old: Module, new: Module) -> int:
+    """Verify the port interface is unchanged; returns boundary net count."""
+    old_ports = {p.name: (p.width, p.direction)
+                 for p in old.ports.values()}
+    new_ports = {p.name: (p.width, p.direction)
+                 for p in new.ports.values()}
+    if old_ports != new_ports:
+        missing = set(old_ports) - set(new_ports)
+        added = set(new_ports) - set(old_ports)
+        changed = {
+            name for name in set(old_ports) & set(new_ports)
+            if old_ports[name] != new_ports[name]
+        }
+        raise PartitionError(
+            f"partition {new.name!r} changed its boundary "
+            f"(missing={sorted(missing)}, added={sorted(added)}, "
+            f"changed={sorted(changed)}); VTI links routed fragments, "
+            f"so the region pin interface must stay fixed")
+    return sum(width for width, _ in old_ports.values())
+
+
+def replace_instance_module(top: Module, path: str,
+                            new_module: Module) -> Module:
+    """Return a copy of ``top`` with the instance at ``path`` swapped.
+
+    Modules along the path are shallow-copied (their expressions and
+    unaffected instances are shared); everything off-path is reused
+    as-is — mirroring how the static region's netlist is untouched.
+    """
+    segments = path.split(".")
+
+    def rebuild(module: Module, depth: int) -> Module:
+        inst = module.instances.get(segments[depth])
+        if inst is None:
+            raise PartitionError(
+                f"no instance {segments[depth]!r} under {module.name!r}")
+        if depth == len(segments) - 1:
+            child = new_module
+        else:
+            child = rebuild(inst.module, depth + 1)
+        clone = Module(module.name)
+        clone.ports = dict(module.ports)
+        clone.wires = dict(module.wires)
+        clone.assigns = dict(module.assigns)
+        clone.registers = dict(module.registers)
+        clone.memories = dict(module.memories)
+        clone.assertions = list(module.assertions)
+        clone.interfaces = list(module.interfaces)
+        clone.attributes = dict(module.attributes)
+        clone.instances = dict(module.instances)
+        old_inst = module.instances[segments[depth]]
+        clone.instances[segments[depth]] = Instance(
+            name=old_inst.name, module=child,
+            inputs=dict(old_inst.inputs), outputs=dict(old_inst.outputs))
+        # Preserve clock maps and other instance attributes.
+        for key, value in vars(old_inst).items():
+            if key not in ("name", "module", "inputs", "outputs"):
+                setattr(clone.instances[segments[depth]], key, value)
+        return clone
+
+    return rebuild(top, 0)

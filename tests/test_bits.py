@@ -1,0 +1,123 @@
+"""Tests for the low-level bit utilities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import _bits
+from repro.errors import WidthError
+
+
+class TestMaskTruncate:
+    def test_mask(self):
+        assert _bits.mask(1) == 1
+        assert _bits.mask(8) == 0xFF
+        assert _bits.mask(64) == (1 << 64) - 1
+
+    def test_mask_bounds(self):
+        with pytest.raises(WidthError):
+            _bits.mask(0)
+        with pytest.raises(WidthError):
+            _bits.mask(_bits.MAX_WIDTH + 1)
+
+    def test_truncate_negative(self):
+        assert _bits.truncate(-1, 8) == 0xFF
+        assert _bits.truncate(-256, 8) == 0
+
+    @given(st.integers(-10**9, 10**9), st.integers(1, 64))
+    def test_truncate_idempotent(self, value, width):
+        once = _bits.truncate(value, width)
+        assert _bits.truncate(once, width) == once
+        assert 0 <= once <= _bits.mask(width)
+
+
+class TestSigned:
+    def test_to_signed(self):
+        assert _bits.to_signed(0xFF, 8) == -1
+        assert _bits.to_signed(0x7F, 8) == 127
+        assert _bits.to_signed(0x80, 8) == -128
+
+    @given(st.integers(-128, 127))
+    def test_signed_roundtrip(self, value):
+        assert _bits.to_signed(_bits.from_signed(value, 8), 8) == value
+
+
+class TestBitAccess:
+    def test_bit(self):
+        assert _bits.bit(0b1010, 1) == 1
+        assert _bits.bit(0b1010, 0) == 0
+        with pytest.raises(WidthError):
+            _bits.bit(1, -1)
+
+    def test_bits_slice(self):
+        assert _bits.bits(0xABCD, 15, 8) == 0xAB
+        with pytest.raises(WidthError):
+            _bits.bits(0, 0, 1)
+
+    def test_set_bit(self):
+        assert _bits.set_bit(0, 3, 1) == 8
+        assert _bits.set_bit(0xFF, 0, 0) == 0xFE
+        with pytest.raises(WidthError):
+            _bits.set_bit(0, 0, 2)
+
+    def test_set_bits(self):
+        assert _bits.set_bits(0x00FF, 11, 4, 0xAB) == 0x0ABF
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 15))
+    def test_set_then_get_bit(self, value, index):
+        for bit_value in (0, 1):
+            updated = _bits.set_bit(value, index, bit_value)
+            assert _bits.bit(updated, index) == bit_value
+
+
+class TestCounting:
+    def test_popcount(self):
+        assert _bits.popcount(0) == 0
+        assert _bits.popcount(0b1011) == 3
+        with pytest.raises(WidthError):
+            _bits.popcount(-1)
+
+    def test_clog2(self):
+        assert _bits.clog2(1) == 0
+        assert _bits.clog2(2) == 1
+        assert _bits.clog2(3) == 2
+        assert _bits.clog2(1024) == 10
+        with pytest.raises(WidthError):
+            _bits.clog2(0)
+
+    def test_width_for(self):
+        assert _bits.width_for(0) == 1
+        assert _bits.width_for(255) == 8
+        assert _bits.width_for(256) == 9
+
+
+class TestComposite:
+    def test_replicate(self):
+        assert _bits.replicate(0b10, 2, 3) == 0b101010
+        with pytest.raises(WidthError):
+            _bits.replicate(1, 1, 0)
+
+    def test_concat(self):
+        value, width = _bits.concat((0xA, 4), (0xB, 4))
+        assert (value, width) == (0xAB, 8)
+        with pytest.raises(WidthError):
+            _bits.concat()
+
+    def test_reverse_bits(self):
+        assert _bits.reverse_bits(0b1000, 4) == 0b0001
+        assert _bits.reverse_bits(0b1101, 4) == 0b1011
+
+    @given(st.integers(0, 0xFFFF))
+    def test_reverse_involution(self, value):
+        twice = _bits.reverse_bits(_bits.reverse_bits(value, 16), 16)
+        assert twice == value
+
+
+class TestWords:
+    def test_chunk_words_roundtrip(self):
+        words = [0xDEADBEEF, 0x12345678]
+        data = _bits.words_to_bytes(words)
+        assert _bits.chunk_words(data) == words
+
+    def test_chunk_words_rejects_ragged(self):
+        with pytest.raises(WidthError):
+            _bits.chunk_words(b"\x00\x01\x02")

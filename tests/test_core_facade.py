@@ -1,0 +1,85 @@
+"""Tests for the Zoomie facade and project configuration."""
+
+import pytest
+
+from repro import Zoomie, ZoomieProject
+from repro.designs import make_cohort_soc, make_counter, make_manycore_soc
+from repro.errors import FlowError, ReproError
+from repro.vti import PartitionSpec
+from repro.vti.flow import VtiCompileResult, VtiIncrementalResult
+
+
+class TestProject:
+    def test_device_resolved_by_name(self):
+        project = ZoomieProject(design=make_counter(), device="TEST2")
+        assert project.device.slr_count == 2
+
+    def test_clocks_required(self):
+        with pytest.raises(ReproError):
+            ZoomieProject(design=make_counter(), clocks={})
+
+    def test_free_domain_added(self):
+        project = ZoomieProject(design=make_counter(),
+                                clocks={"clk": 125.0})
+        clocks = project.clocks_with_free_domain()
+        assert clocks["zoomie_clk"] == 125.0
+        assert clocks["clk"] == 125.0
+
+
+class TestCompile:
+    def test_compile_without_partitions_uses_vendor_flow(self):
+        project = ZoomieProject(design=make_counter(), device="TEST2")
+        result = Zoomie(project).compile()
+        assert result.flow == "vivado"
+
+    def test_compile_with_partitions_uses_vti(self):
+        soc = make_manycore_soc(12, 12, imem_depth=64)
+        project = ZoomieProject(
+            design=soc, device="TEST2", clocks={"clk": 50.0},
+            partitions=[PartitionSpec("tile0.core0")])
+        zoomie = Zoomie(project)
+        initial = zoomie.compile()
+        assert isinstance(initial, VtiCompileResult)
+        incr = zoomie.recompile_partition("tile0.core0")
+        assert isinstance(incr, VtiIncrementalResult)
+
+    def test_recompile_before_compile_rejected(self):
+        project = ZoomieProject(
+            design=make_counter(), device="TEST2",
+            partitions=[PartitionSpec("nope")])
+        with pytest.raises(FlowError):
+            Zoomie(project).recompile_partition("nope")
+
+
+class TestLaunch:
+    def test_launch_full_workflow(self):
+        project = ZoomieProject(
+            design=make_cohort_soc(with_bug=False), device="TEST2",
+            clocks={"clk": 100.0}, watch=["issued"])
+        session = Zoomie(project).launch()
+        session.poke_input("en", 1)
+        session.run(20)
+        dbg = session.debugger
+        dbg.pause()
+        assert dbg.read("lsu.issued_count") > 0
+
+    def test_launch_without_monitors(self):
+        project = ZoomieProject(
+            design=make_counter(), device="TEST2",
+            clocks={"clk": 100.0}, watch=["out"],
+            insert_monitors=False)
+        session = Zoomie(project).launch()
+        assert session.instrumented.monitors == []
+
+    def test_launch_compiles_and_programs(self):
+        project = ZoomieProject(
+            design=make_counter(), device="TEST2",
+            clocks={"clk": 100.0}, watch=["out"])
+        session = Zoomie(project).launch()
+        assert session.fabric.booted
+        assert session.compile_result.database is not None
+        # The breakpoint path works end to end through the facade.
+        session.poke_input("en", 1)
+        session.debugger.set_value_breakpoint({"out": 9})
+        session.debugger.run()
+        assert session.debugger.read("count") == 9

@@ -1,0 +1,114 @@
+"""Tests for the gdb-like command interpreter."""
+
+import pytest
+
+from repro import Zoomie, ZoomieProject
+from repro.debug.cli import ZoomieCli
+from repro.designs import make_cohort_soc
+
+
+@pytest.fixture()
+def cli():
+    project = ZoomieProject(
+        design=make_cohort_soc(with_bug=False), device="TEST2",
+        clocks={"clk": 100.0}, watch=["issued", "completed"])
+    session = Zoomie(project).launch()
+    session.poke_input("en", 1)
+    return ZoomieCli(session.debugger)
+
+
+class TestBasicCommands:
+    def test_help_lists_commands(self, cli):
+        text = cli.execute("help")
+        assert "break" in text and "snapshot" in text
+
+    def test_unknown_command(self, cli):
+        assert "unknown command" in cli.execute("frobnicate")
+
+    def test_empty_line_is_noop(self, cli):
+        assert cli.execute("   ") == ""
+
+    def test_break_run_print_flow(self, cli):
+        out = cli.execute("break issued=3")
+        assert "issued==0x3" in out
+        out = cli.execute("run")
+        assert "paused" in out
+        out = cli.execute("print lsu.issued_count")
+        assert "= 0x3" in out
+
+    def test_or_breakpoint_syntax(self, cli):
+        out = cli.execute("break issued=200 completed=1 or")
+        assert "OR" in out
+        assert "paused" in cli.execute("run")
+
+    def test_malformed_break_reports_error(self, cli):
+        assert "error" in cli.execute("break issued")
+        assert "error" in cli.execute("break")
+
+    def test_step_and_continue(self, cli):
+        cli.execute("run 5")
+        cli.execute("pause")
+        out = cli.execute("step 4")
+        assert "stepped 4" in out
+        assert "running" in cli.execute("continue")
+
+    def test_set_and_print_hex(self, cli):
+        cli.execute("run 5")
+        cli.execute("pause")
+        assert "<- 0xab" in cli.execute("set datapath.acc 0xAB")
+        assert "= 0xab" in cli.execute("print datapath.acc")
+
+    def test_state_filters_zoomie_internals(self, cli):
+        cli.execute("pause")
+        text = cli.execute("state")
+        assert "lsu.issued_count" in text
+        assert "zoomie_" not in text
+
+    def test_errors_surface_not_raise(self, cli):
+        # Not paused: state access is a user error, not a crash.
+        out = cli.execute("state")
+        assert out.startswith("error:")
+
+    def test_watchlist_and_info(self, cli):
+        text = cli.execute("watchlist")
+        assert "issued" in text and "completed" in text
+        info = cli.execute("info")
+        assert "session JTAG time" in info
+
+
+class TestSnapshotCommands:
+    def test_snapshot_restore_diff(self, cli):
+        cli.execute("run 10")
+        cli.execute("pause")
+        assert "snapshot 'a'" in cli.execute("snapshot a")
+        cli.execute("step 6")
+        diff = cli.execute("diff a")
+        assert "->" in diff  # something changed
+        cli.execute("restore a")
+        # After restore, the design-level diff is empty.
+        diff_after = cli.execute("diff a")
+        assert diff_after == "(no differences)"
+
+    def test_restore_unknown_label(self, cli):
+        assert "error" in cli.execute("restore nope")
+
+
+class TestRepl:
+    def test_scripted_repl(self, cli):
+        inputs = iter(["break issued=2", "run", "print lsu.issued_count",
+                       "quit"])
+        outputs = []
+        cli.repl(input_fn=lambda _: next(inputs),
+                 print_fn=outputs.append)
+        joined = "\n".join(outputs)
+        assert "breakpoint set" in joined
+        assert "= 0x2" in joined
+
+    def test_repl_eof_exits(self, cli):
+        def raise_eof(_):
+            raise EOFError
+        cli.repl(input_fn=raise_eof, print_fn=lambda *_: None)
+
+    def test_run_script(self, cli):
+        outputs = cli.run_script(["break issued=1", "run"])
+        assert len(outputs) == 2

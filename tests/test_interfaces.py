@@ -1,0 +1,352 @@
+"""Tests for decoupled interfaces, wire sorts, monitors, and pause buffers.
+
+The centrepiece reproduces the paper's Figure 3: gating a producer's clock
+while its ``valid`` is held high makes a naively-connected consumer see
+spurious duplicate transactions; interposing the pause buffer removes the
+hazard entirely.
+"""
+
+import pytest
+
+from repro.errors import ElaborationError
+from repro.interfaces import (
+    REQUESTER,
+    RESPONDER,
+    DecoupledMonitor,
+    WireSort,
+    add_decoupled_sink,
+    add_decoupled_source,
+    classify_interface,
+    composable,
+    make_pause_buffer,
+)
+from repro.interfaces.decoupled import interfaces_of
+from repro.interfaces.wire_sorts import pause_buffer_applicable
+from repro.rtl import ModuleBuilder, Simulator, elaborate, mux
+from repro.rtl.flatten import set_clock_map
+
+
+def make_producer():
+    """Sends an incrementing sequence number; valid is always high."""
+    b = ModuleBuilder("producer")
+    valid, ready, data = add_decoupled_source(b, "out", 8)
+    seq = b.reg("seq", 8)
+    fire = b.sig("out_ready")
+    b.next(seq, mux(fire, seq + 1, seq))
+    b.assign(valid, b.const(1, 1))
+    b.assign(data, seq)
+    return b.build()
+
+
+def make_registered_consumer():
+    """Registers ready (TO_SYNC): toggles ready every cycle."""
+    b = ModuleBuilder("consumer")
+    valid, ready, data = add_decoupled_sink(b, "in", 8)
+    tog = b.reg("tog", 1)
+    b.next(tog, ~tog)
+    b.assign(ready, tog)
+    b.output_expr("sink", mux(valid, data, b.const(0, 8)))
+    return b.build()
+
+
+def make_comb_consumer():
+    """Combinational ready (TO_COMB): ready echoes valid."""
+    b = ModuleBuilder("comb_consumer")
+    valid, ready, data = add_decoupled_sink(b, "in", 8)
+    b.assign(ready, valid)
+    b.output_expr("sink", data)
+    return b.build()
+
+
+class TestDecoupledDeclarations:
+    def test_source_declares_ports_and_metadata(self):
+        module = make_producer()
+        iface = interfaces_of(module)[0]
+        assert iface.role == REQUESTER
+        assert iface.signal_names() == ("out_valid", "out_ready", "out_data")
+        assert module.ports["out_valid"].direction == "output"
+        assert module.ports["out_ready"].direction == "input"
+
+    def test_sink_declares_mirrored_directions(self):
+        module = make_registered_consumer()
+        iface = interfaces_of(module)[0]
+        assert iface.role == RESPONDER
+        assert module.ports["in_valid"].direction == "input"
+        assert module.ports["in_ready"].direction == "output"
+
+    def test_duplicate_interface_rejected(self):
+        b = ModuleBuilder("m")
+        add_decoupled_source(b, "ch", 8)
+        with pytest.raises(ElaborationError):
+            add_decoupled_source(b, "ch", 8)
+
+
+class TestWireSorts:
+    def test_registered_ready_is_to_sync(self):
+        module = make_registered_consumer()
+        sorts = classify_interface(module, interfaces_of(module)[0])
+        assert sorts.forward is WireSort.TO_SYNC
+        assert pause_buffer_applicable(sorts)
+
+    def test_combinational_ready_is_to_comb(self):
+        module = make_comb_consumer()
+        sorts = classify_interface(module, interfaces_of(module)[0])
+        assert sorts.forward is WireSort.TO_COMB
+        assert not pause_buffer_applicable(sorts)
+
+    def test_constant_valid_is_to_const(self):
+        module = make_producer()
+        sorts = classify_interface(module, interfaces_of(module)[0])
+        assert sorts.forward is WireSort.TO_CONST
+
+    def test_composability_rule(self):
+        comb = classify_interface(
+            make_comb_consumer(), interfaces_of(make_comb_consumer())[0])
+        sync = classify_interface(
+            make_registered_consumer(),
+            interfaces_of(make_registered_consumer())[0])
+        assert composable(sync, sync)
+        assert composable(sync, comb)
+        assert not composable(comb, comb)
+
+
+class TestPauseBufferModule:
+    def test_depth_below_two_rejected(self):
+        with pytest.raises(ElaborationError):
+            make_pause_buffer("pb", 8, depth=1)
+
+    def make_sim(self, depth=2):
+        sim = Simulator(elaborate(make_pause_buffer("pb", 8, depth=depth)))
+        sim.poke("enq_live", 1)
+        sim.poke("deq_live", 1)
+        return sim
+
+    def test_zero_latency_passthrough(self):
+        """Property 3: empty buffer adds no latency."""
+        sim = self.make_sim()
+        sim.poke("enq_valid", 1)
+        sim.poke("enq_data", 0x5A)
+        sim.poke("deq_ready", 1)
+        assert sim.peek("deq_valid") == 1
+        assert sim.peek("deq_data") == 0x5A
+        sim.step(1)
+        # The item passed straight through: buffer still empty.
+        assert sim.peek("count") == 0
+
+    def test_buffers_when_consumer_stalls(self):
+        sim = self.make_sim()
+        sim.poke("enq_valid", 1)
+        sim.poke("enq_data", 1)
+        sim.poke("deq_ready", 0)
+        sim.step(1)
+        sim.poke("enq_data", 2)
+        sim.step(1)
+        assert sim.peek("count") == 2
+        assert sim.peek("enq_ready") == 0  # full
+        sim.poke("enq_valid", 0)
+        sim.poke("deq_ready", 1)
+        assert sim.peek("deq_data") == 1
+        sim.step(1)
+        assert sim.peek("deq_data") == 2
+        sim.step(1)
+        assert sim.peek("count") == 0
+
+    def test_delivers_during_producer_pause(self):
+        """Property 1: accepted transactions flow out while paused."""
+        sim = self.make_sim()
+        sim.poke("enq_valid", 1)
+        sim.poke("enq_data", 7)
+        sim.poke("deq_ready", 0)
+        sim.step(1)  # buffer accepts the item
+        sim.poke("enq_live", 0)  # producer pauses; its valid stays high
+        sim.poke("deq_ready", 1)
+        assert sim.peek("deq_valid") == 1
+        assert sim.peek("deq_data") == 7
+        sim.step(1)
+        # Delivered exactly once; the frozen producer's valid must not
+        # enqueue a second copy.
+        assert sim.peek("count") == 0
+        assert sim.peek("deq_valid") == 0
+
+    def test_frozen_producer_makes_no_new_transactions(self):
+        """Property 2: a paused requester's stuck valid is inert."""
+        sim = self.make_sim()
+        sim.poke("enq_valid", 1)
+        sim.poke("enq_data", 9)
+        sim.poke("enq_live", 0)
+        sim.poke("deq_ready", 1)
+        assert sim.peek("deq_valid") == 0
+        sim.step(5)
+        assert sim.peek("count") == 0
+
+    def test_frozen_consumer_sees_transaction_restarted(self):
+        """Property 2, consumer side: deq restarts after resume."""
+        sim = self.make_sim()
+        sim.poke("enq_valid", 1)
+        sim.poke("enq_data", 3)
+        sim.poke("deq_ready", 1)
+        sim.poke("deq_live", 0)  # consumer frozen at the handshake cycle
+        sim.step(1)
+        assert sim.peek("count") == 1  # item waited in the buffer
+        sim.poke("enq_valid", 0)
+        sim.poke("deq_live", 1)
+        assert sim.peek("deq_valid") == 1
+        assert sim.peek("deq_data") == 3
+        sim.step(1)
+        assert sim.peek("count") == 0
+
+    def test_deeper_buffer(self):
+        sim = self.make_sim(depth=4)
+        sim.poke("enq_valid", 1)
+        sim.poke("deq_ready", 0)
+        for index in range(4):
+            sim.poke("enq_data", 10 + index)
+            sim.step(1)
+        assert sim.peek("enq_ready") == 0
+        sim.poke("enq_valid", 0)
+        sim.poke("deq_ready", 1)
+        seen = []
+        for _ in range(4):
+            assert sim.peek("deq_valid") == 1
+            seen.append(sim.peek("deq_data"))
+            sim.step(1)
+        assert seen == [10, 11, 12, 13]
+
+
+def _build_direct_top():
+    """Producer (gated domain) wired straight to the observation point."""
+    producer = make_producer()
+    b = ModuleBuilder("direct_top")
+    ready = b.input("cons_ready", 1)
+    refs = b.instantiate(producer, "prod", inputs={"out_ready": ready})
+    b.output_expr("valid", refs["out_valid"])
+    b.output_expr("data", refs["out_data"])
+    top = b.build()
+    set_clock_map(top.instances["prod"], {"clk": "mut_clk"})
+    return elaborate(top)
+
+
+def _build_buffered_top():
+    """Producer behind a pause buffer; buffer runs on the free clock."""
+    producer = make_producer()
+    buffer = make_pause_buffer("pb", 8)
+    b = ModuleBuilder("buffered_top")
+    ready = b.input("cons_ready", 1)
+    live = b.input("prod_live", 1)
+    buf_refs = b.instantiate(buffer, "pb", inputs={
+        "enq_valid": b.wire("prod_valid", 1),
+        "enq_data": b.wire("prod_data", 8),
+        "deq_ready": ready,
+        "enq_live": live,
+        "deq_live": b.const(1, 1),
+    })
+    b.instantiate(producer, "prod",
+                  inputs={"out_ready": buf_refs["enq_ready"]},
+                  outputs={"out_valid": "prod_valid",
+                           "out_data": "prod_data"})
+    b.output_expr("valid", buf_refs["deq_valid"])
+    b.output_expr("data", buf_refs["deq_data"])
+    top = b.build()
+    set_clock_map(top.instances["prod"], {"clk": "mut_clk"})
+    return elaborate(top)
+
+
+class TestFigure3Hazard:
+    """Reproduces the paper's Figure 3 and its fix."""
+
+    def test_direct_connection_duplicates_on_pause(self):
+        sim = Simulator(_build_direct_top(),
+                        clocks={"clk": 1000, "mut_clk": 1000})
+        monitor = DecoupledMonitor(
+            sim, valid="valid", ready="cons_ready", data="data",
+            domain="clk").attach()
+        sim.poke("cons_ready", 1)
+        sim.step(3)
+        # Pause the producer exactly as in Figure 3: valid freezes high.
+        sim.set_clock_gate("mut_clk", True)
+        sim.step(4)
+        sim.set_clock_gate("mut_clk", False)
+        sim.step(3)
+        data = monitor.transaction_data
+        # The frozen producer's data was "accepted" repeatedly: duplicates.
+        assert len(data) != len(set(data)), data
+
+    def test_pause_buffer_removes_duplicates(self):
+        sim = Simulator(_build_buffered_top(),
+                        clocks={"clk": 1000, "mut_clk": 1000})
+        monitor = DecoupledMonitor(
+            sim, valid="valid", ready="cons_ready", data="data",
+            domain="clk").attach()
+        sim.poke("cons_ready", 1)
+        sim.poke("prod_live", 1)
+        sim.step(3)
+        sim.set_clock_gate("mut_clk", True)
+        sim.poke("prod_live", 0)
+        sim.step(4)
+        sim.set_clock_gate("mut_clk", False)
+        sim.poke("prod_live", 1)
+        sim.step(3)
+        data = monitor.transaction_data
+        assert data == sorted(set(data)), data
+        assert monitor.ok()
+
+    def test_buffered_stream_is_gapless_sequence(self):
+        sim = Simulator(_build_buffered_top(),
+                        clocks={"clk": 1000, "mut_clk": 1000})
+        monitor = DecoupledMonitor(
+            sim, valid="valid", ready="cons_ready", data="data",
+            domain="clk").attach()
+        sim.poke("cons_ready", 1)
+        sim.poke("prod_live", 1)
+        for pause_len in (1, 3, 2):
+            sim.step(2)
+            sim.set_clock_gate("mut_clk", True)
+            sim.poke("prod_live", 0)
+            sim.step(pause_len)
+            sim.set_clock_gate("mut_clk", False)
+            sim.poke("prod_live", 1)
+        sim.step(2)
+        data = monitor.transaction_data
+        assert data == list(range(len(data)))
+
+
+class TestMonitorChecks:
+    def test_unstable_data_detected(self):
+        b = ModuleBuilder("bad")
+        count = b.reg("count", 8)
+        b.next(count, count + 1)
+        b.output_expr("valid", b.const(1, 1))
+        b.output_expr("data", count)  # changes while stalled: violation
+        top = b.build()
+        sim = Simulator(elaborate(top))
+        sim2 = Simulator(elaborate(_ready_low_wrapper(top)))
+        monitor = DecoupledMonitor(
+            sim2, valid="valid", ready="ready", data="data").attach()
+        sim2.step(3)
+        kinds = {v.kind for v in monitor.violations}
+        assert "unstable-data" in kinds
+
+    def test_irrevocable_drop_detected(self):
+        b = ModuleBuilder("revoker")
+        count = b.reg("count", 2)
+        b.next(count, count + 1)
+        b.output_expr("valid", count.eq(0))  # pulses, drops without ready
+        b.output_expr("data", b.const(5, 8))
+        top = b.build()
+        sim = Simulator(elaborate(_ready_low_wrapper(top)))
+        monitor = DecoupledMonitor(
+            sim, valid="valid", ready="ready", data="data",
+            irrevocable=True).attach()
+        sim.step(4)
+        kinds = {v.kind for v in monitor.violations}
+        assert "revoked-valid" in kinds
+
+
+def _ready_low_wrapper(inner):
+    """Wrap a module adding a constant-low ready signal for monitors."""
+    b = ModuleBuilder(f"{inner.name}_wrapped")
+    refs = b.instantiate(inner, "u", inputs={})
+    for port_name, ref in refs.items():
+        b.output_expr(port_name, ref)
+    b.output_expr("ready", b.const(0, 1))
+    return b.build()

@@ -1,0 +1,120 @@
+"""Multi-clock-domain debugging (paper Sections 4.6, 6.1).
+
+A two-domain design (fast core + slow peripheral) is paused, stepped,
+and inspected: with phase-aligned, integer-ratio clocks stepping is
+cycle-exact across both domains; with incommensurate clocks the
+debugger refuses (Section 6.1's limitation) unless forced.
+"""
+
+import pytest
+
+from repro.config import FabricDevice
+from repro.debug import ZoomieDebugger, instrument_netlist
+from repro.debug.controller import stepping_is_precise
+from repro.errors import BreakpointError
+from repro.fpga import make_test_device
+from repro.rtl import ModuleBuilder, elaborate
+from repro.vendor import VivadoFlow
+
+
+def make_two_domain_design():
+    """A fast counter and a slow counter in separate clock domains."""
+    b = ModuleBuilder("twodomain")
+    en = b.input("en", 1)
+    fast = b.reg("fast_count", 16, clock="fast")
+    slow = b.reg("slow_count", 16, clock="slow")
+    b.next(fast, fast + 1)
+    b.next(slow, slow + 1)
+    b.output_expr("fast_out", fast)
+    b.output_expr("slow_out", slow)
+    b.output_expr("active", en)
+    return b.build()
+
+
+def launch(fast_mhz, slow_mhz):
+    device = make_test_device()
+    netlist = elaborate(make_two_domain_design())
+    inst = instrument_netlist(netlist, watch=["fast_out"])
+    clocks = {"fast": fast_mhz, "slow": slow_mhz,
+              "zoomie_clk": fast_mhz}
+    result = VivadoFlow(device).compile_netlist(
+        netlist, clocks, gate_signals=inst.gate_signals)
+    fabric = FabricDevice(device)
+    fabric.expect(result.database)
+    fabric.jtag.run(result.bitstream)
+    fabric.sim.poke("en", 1)
+    return fabric, ZoomieDebugger(fabric, inst)
+
+
+class TestPrecisionPredicate:
+    def test_single_domain_always_precise(self):
+        assert stepping_is_precise({"clk": 10_000})
+
+    def test_integer_multiples_precise(self):
+        assert stepping_is_precise({"fast": 4_000, "slow": 8_000})
+        assert stepping_is_precise({"a": 1_000, "b": 3_000, "c": 6_000})
+
+    def test_incommensurate_imprecise(self):
+        assert not stepping_is_precise({"fast": 4_000, "slow": 10_000})
+
+    def test_empty_is_precise(self):
+        assert stepping_is_precise({})
+
+
+class TestAlignedDomains:
+    def test_pause_freezes_both_domains(self):
+        fabric, dbg = launch(fast_mhz=200.0, slow_mhz=100.0)
+        dbg.run(20)
+        dbg.pause()
+        fast = fabric.sim.peek("fast_count")
+        slow = fabric.sim.peek("slow_count")
+        dbg.run(20)
+        assert fabric.sim.peek("fast_count") == fast
+        assert fabric.sim.peek("slow_count") == slow
+
+    def test_step_is_cycle_exact_in_both_domains(self):
+        fabric, dbg = launch(fast_mhz=200.0, slow_mhz=100.0)
+        assert dbg.stepping_precise()
+        dbg.run(10)
+        dbg.pause()
+        fast_before = fabric.sim.peek("fast_count")
+        slow_before = fabric.sim.peek("slow_count")
+        dbg.step(8)  # 8 fast cycles = 4 slow cycles (2:1 ratio)
+        assert fabric.sim.peek("fast_count") == fast_before + 8
+        assert fabric.sim.peek("slow_count") == slow_before + 4
+        assert dbg.is_paused()
+
+    def test_readback_covers_both_domains(self):
+        fabric, dbg = launch(fast_mhz=200.0, slow_mhz=100.0)
+        dbg.run(12)
+        dbg.pause()
+        state = dbg.read_state()
+        assert state["fast_count"] == fabric.sim.peek("fast_count")
+        assert state["slow_count"] == fabric.sim.peek("slow_count")
+
+
+class TestIncommensurateDomains:
+    def test_step_refuses_without_force(self):
+        fabric, dbg = launch(fast_mhz=250.0, slow_mhz=100.0)
+        assert not dbg.stepping_precise()
+        dbg.run(10)
+        dbg.pause()
+        with pytest.raises(BreakpointError) as info:
+            dbg.step(4)
+        assert "Section 6.1" in str(info.value)
+
+    def test_forced_step_still_runs(self):
+        fabric, dbg = launch(fast_mhz=250.0, slow_mhz=100.0)
+        dbg.run(10)
+        dbg.pause()
+        before = dbg.cycles()
+        dbg.step(4, force=True)
+        assert dbg.cycles() == before + 4  # exact in the counted domain
+
+    def test_pause_and_readback_still_work(self):
+        """Section 6.1 limits *stepping*; pausing and visibility remain."""
+        fabric, dbg = launch(fast_mhz=250.0, slow_mhz=100.0)
+        dbg.set_value_breakpoint({"fast_out": 15})
+        dbg.run(100)
+        assert dbg.is_paused()
+        assert dbg.read("fast_count") == 15

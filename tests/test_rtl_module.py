@@ -1,0 +1,178 @@
+"""Tests for module construction, validation, and hierarchy queries."""
+
+import pytest
+
+from repro.errors import ElaborationError, NameConflictError, UnknownSignalError
+from repro.rtl import ModuleBuilder, mux
+from repro.rtl.module import iter_hierarchy
+
+
+def make_counter(width=8):
+    b = ModuleBuilder("counter")
+    en = b.input("en", 1)
+    count = b.reg("count", width)
+    b.next(count, mux(en, count + 1, count))
+    b.output_expr("out", count)
+    return b.build()
+
+
+class TestBuilder:
+    def test_duplicate_signal_rejected(self):
+        b = ModuleBuilder("m")
+        b.input("a", 1)
+        with pytest.raises(NameConflictError):
+            b.wire("a", 1)
+
+    def test_double_drive_rejected(self):
+        b = ModuleBuilder("m")
+        b.wire("w", 1)
+        b.assign("w", b.const(0, 1))
+        with pytest.raises(NameConflictError):
+            b.assign("w", b.const(1, 1))
+
+    def test_driving_input_rejected(self):
+        b = ModuleBuilder("m")
+        b.input("a", 1)
+        with pytest.raises(ElaborationError):
+            b.assign("a", b.const(0, 1))
+
+    def test_undriven_wire_rejected_at_build(self):
+        b = ModuleBuilder("m")
+        b.wire("w", 1)
+        b.output_expr("o", b.const(0, 1))
+        with pytest.raises(ElaborationError):
+            b.build()
+
+    def test_undriven_output_rejected_at_build(self):
+        b = ModuleBuilder("m")
+        b.output("o", 1)
+        with pytest.raises(ElaborationError):
+            b.build()
+
+    def test_register_next_width_checked(self):
+        b = ModuleBuilder("m")
+        reg = b.reg("r", 8)
+        with pytest.raises(ElaborationError):
+            b.next(reg, b.const(0, 4))
+
+    def test_register_double_next_rejected(self):
+        b = ModuleBuilder("m")
+        reg = b.reg("r", 8)
+        b.next(reg, b.const(0, 8))
+        with pytest.raises(ElaborationError):
+            b.next(reg, b.const(1, 8))
+
+    def test_registers_without_next_hold(self):
+        b = ModuleBuilder("m")
+        b.reg("r", 8, init=3)
+        b.output_expr("o", b.sig("r"))
+        module = b.build()
+        assert module.registers["r"].next is not None
+
+    def test_build_twice_rejected(self):
+        b = ModuleBuilder("m")
+        b.output_expr("o", b.const(0, 1))
+        b.build()
+        with pytest.raises(ElaborationError):
+            b.build()
+
+    def test_unknown_signal_ref(self):
+        b = ModuleBuilder("m")
+        with pytest.raises(UnknownSignalError):
+            b.sig("nope")
+
+
+class TestHierarchy:
+    def test_instantiate_autowires_outputs(self):
+        counter = make_counter()
+        b = ModuleBuilder("top")
+        en = b.input("en", 1)
+        refs = b.instantiate(counter, "c0", inputs={"en": en})
+        assert refs["out"].name == "c0_out"
+        b.output_expr("o", refs["out"])
+        top = b.build()
+        assert "c0" in top.instances
+
+    def test_instantiate_checks_input_widths(self):
+        counter = make_counter()
+        b = ModuleBuilder("top")
+        wide = b.input("wide", 4)
+        b.instantiate(counter, "c0", inputs={"en": wide})
+        b.output_expr("o", b.sig("c0_out"))
+        with pytest.raises(ElaborationError):
+            b.build()
+
+    def test_missing_input_rejected(self):
+        counter = make_counter()
+        b = ModuleBuilder("top")
+        b.instantiate(counter, "c0", inputs={})
+        b.output_expr("o", b.sig("c0_out"))
+        with pytest.raises(ElaborationError):
+            b.build()
+
+    def test_iter_hierarchy_paths(self):
+        counter = make_counter()
+        mid_b = ModuleBuilder("mid")
+        en = mid_b.input("en", 1)
+        refs = mid_b.instantiate(counter, "inner", inputs={"en": en})
+        mid_b.output_expr("o", refs["out"])
+        mid = mid_b.build()
+
+        top_b = ModuleBuilder("top")
+        en2 = top_b.input("en", 1)
+        refs2 = top_b.instantiate(mid, "m0", inputs={"en": en2})
+        top_b.output_expr("o", refs2["o"])
+        top = top_b.build()
+
+        paths = {path for path, _ in iter_hierarchy(top)}
+        assert paths == {"", "m0", "m0.inner"}
+
+    def test_submodules_deduplicates(self):
+        counter = make_counter()
+        b = ModuleBuilder("top")
+        en = b.input("en", 1)
+        r0 = b.instantiate(counter, "c0", inputs={"en": en})
+        r1 = b.instantiate(counter, "c1", inputs={"en": en})
+        b.output_expr("o", r0["out"] + r1["out"])
+        top = b.build()
+        assert top.submodules() == {counter}
+
+    def test_state_bit_count_scales_with_instances(self):
+        counter = make_counter(width=8)
+        b = ModuleBuilder("top")
+        en = b.input("en", 1)
+        r0 = b.instantiate(counter, "c0", inputs={"en": en})
+        r1 = b.instantiate(counter, "c1", inputs={"en": en})
+        b.output_expr("o", r0["out"] + r1["out"])
+        top = b.build()
+        assert top.state_bit_count() == 16
+
+    def test_instance_count(self):
+        counter = make_counter()
+        b = ModuleBuilder("top")
+        en = b.input("en", 1)
+        r0 = b.instantiate(counter, "c0", inputs={"en": en})
+        b.output_expr("o", r0["out"])
+        assert b.build().instance_count() == 2
+
+
+class TestModuleMetadata:
+    def test_assertions_attach(self):
+        b = ModuleBuilder("m")
+        b.assertion("assert property (@(posedge clk) a |-> ##1 b);")
+        b.output_expr("o", b.const(0, 1))
+        module = b.build()
+        assert len(module.assertions) == 1
+
+    def test_attributes(self):
+        b = ModuleBuilder("m")
+        b.attribute("DONT_TOUCH", True)
+        b.output_expr("o", b.const(0, 1))
+        assert b.build().attributes["DONT_TOUCH"] is True
+
+    def test_clocks_lists_domains(self):
+        b = ModuleBuilder("m")
+        b.reg("a", 1, clock="clk")
+        b.reg("b", 1, clock="eth_clk")
+        b.output_expr("o", b.sig("a"))
+        assert b.build().clocks() == {"clk", "eth_clk"}

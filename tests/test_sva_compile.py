@@ -1,0 +1,289 @@
+"""Tests for assertion synthesis: monitor FSM generation and semantics.
+
+The gold standard here is the cross-check: the compiled hardware monitor
+and the software checker must flag the same cycles for the same stimulus,
+including under randomized stimulus (hypothesis).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import UnsynthesizableError
+from repro.rtl import ModuleBuilder, Simulator, elaborate
+from repro.sva import SoftwareChecker, compile_assertion
+
+#: Signal widths shared by the test designs.
+WIDTHS = {
+    "valid": 1, "ack": 1, "req": 1, "gnt": 1, "a": 1, "b": 1, "c": 1,
+    "resetn": 1, "data": 8, "mcause": 64, "MIE": 1, "MPIE": 1,
+}
+
+
+def run_both(assertion: str, stimulus: list[dict[str, int]],
+             widths: dict | None = None):
+    """Drive the compiled monitor and the software checker in lockstep.
+
+    Returns ``(hw_fail_cycles, sw_fail_cycles, monitor)``.
+    """
+    widths = dict(widths or WIDTHS)
+    monitor = compile_assertion(assertion, widths)
+    referenced = sorted(set(monitor.port_map.values()))
+
+    b = ModuleBuilder("tb")
+    inputs = {name: b.input(name, widths[name]) for name in referenced}
+    refs = b.instantiate(
+        monitor.module, "mon",
+        inputs={port: inputs[signal]
+                for port, signal in monitor.port_map.items()})
+    b.output_expr("fail", refs["fail"])
+    b.output_expr("match", refs["match"])
+    top = b.build()
+    sim = Simulator(elaborate(top))
+
+    checker = SoftwareChecker(assertion, sim).attach()
+
+    hw_fails: list[int] = []
+
+    def record(s, ticked):
+        if "clk" in ticked and s.peek("fail"):
+            hw_fails.append(s.cycles("clk"))
+
+    sim.pre_edge_hooks.append(record)
+
+    for row in stimulus:
+        for name, value in row.items():
+            sim.poke(name, value)
+        sim.step(1)
+
+    sw_fails = [f.cycle for f in checker.failures]
+    return hw_fails, sw_fails, monitor
+
+
+PAPER_EXAMPLE = ("ack_valid: assert property "
+                 "(@(posedge clk) disable iff (!resetn) "
+                 "valid |-> ##1 ack);")
+
+
+def rows(*tuples, keys=("resetn", "valid", "ack")):
+    return [dict(zip(keys, t)) for t in tuples]
+
+
+class TestPaperExample:
+    def test_pass_when_ack_follows(self):
+        stim = rows((1, 1, 0), (1, 0, 1), (1, 1, 0), (1, 0, 1), (1, 0, 0))
+        hw, sw, _ = run_both(PAPER_EXAMPLE, stim)
+        assert hw == [] and sw == []
+
+    def test_fail_when_ack_missing(self):
+        stim = rows((1, 1, 0), (1, 0, 0), (1, 0, 0))
+        hw, sw, _ = run_both(PAPER_EXAMPLE, stim)
+        assert hw == sw
+        assert len(hw) == 1
+        # valid at cycle 1 requires ack at cycle 2 (cycle numbers are
+        # 1-based edge counts).
+        assert hw[0] == 2
+
+    def test_disable_iff_masks_failures(self):
+        stim = rows((0, 1, 0), (0, 0, 0), (0, 0, 0), (1, 0, 0))
+        hw, sw, _ = run_both(PAPER_EXAMPLE, stim)
+        assert hw == [] and sw == []
+
+    def test_back_to_back_requests(self):
+        stim = rows((1, 1, 0), (1, 1, 1), (1, 0, 1), (1, 0, 0))
+        hw, sw, _ = run_both(PAPER_EXAMPLE, stim)
+        assert hw == [] and sw == []
+
+    def test_overlapping_failures_both_reported(self):
+        stim = rows((1, 1, 0), (1, 1, 0), (1, 0, 0), (1, 0, 0))
+        hw, sw, _ = run_both(PAPER_EXAMPLE, stim)
+        assert hw == sw
+        assert hw == [2, 3]
+
+
+class TestOperatorSemantics:
+    def test_immediate_assertion(self):
+        stim = [{"a": 1, "b": 1}, {"a": 1, "b": 0}, {"a": 0, "b": 0}]
+        hw, sw, _ = run_both("assert (a == b);", stim)
+        assert hw == sw == [2]
+
+    def test_nonoverlapping_implication(self):
+        # req |=> gnt: gnt must hold the cycle AFTER req.
+        stim = [
+            {"req": 1, "gnt": 0},
+            {"req": 0, "gnt": 1},  # ok
+            {"req": 1, "gnt": 0},
+            {"req": 0, "gnt": 0},  # fail here
+        ]
+        hw, sw, _ = run_both("assert property (req |=> gnt);", stim)
+        assert hw == sw == [4]
+
+    def test_overlapping_boolean_consequent(self):
+        stim = [{"req": 1, "gnt": 1}, {"req": 1, "gnt": 0}]
+        hw, sw, _ = run_both("assert property (req |-> gnt);", stim)
+        assert hw == sw == [2]
+
+    def test_fixed_delay_two(self):
+        keys = ("a", "b")
+        stim = [dict(zip(keys, t)) for t in
+                [(1, 0), (0, 0), (0, 1), (1, 0), (0, 0), (0, 0)]]
+        hw, sw, _ = run_both("assert property (a |-> ##2 b);", stim)
+        assert hw == sw == [6]
+
+    def test_delay_range(self):
+        # b may arrive 1 or 2 cycles after a.
+        keys = ("a", "b")
+        ok = [dict(zip(keys, t)) for t in [(1, 0), (0, 0), (0, 1)]]
+        hw, sw, _ = run_both("assert property (a |-> ##[1:2] b);", ok)
+        assert hw == sw == []
+        bad = [dict(zip(keys, t)) for t in [(1, 0), (0, 0), (0, 0)]]
+        hw, sw, _ = run_both("assert property (a |-> ##[1:2] b);", bad)
+        assert hw == sw == [3]
+
+    def test_consecutive_repetition_antecedent(self):
+        # Two consecutive a's must be followed by b.
+        keys = ("a", "b")
+        stim = [dict(zip(keys, t)) for t in
+                [(1, 0), (1, 0), (0, 0)]]
+        hw, sw, _ = run_both("assert property (a[*2] |=> b);", stim)
+        assert hw == sw == [3]
+        stim_ok = [dict(zip(keys, t)) for t in
+                   [(1, 0), (1, 0), (0, 1)]]
+        hw, sw, _ = run_both("assert property (a[*2] |=> b);", stim_ok)
+        assert hw == sw == []
+
+    def test_sequence_and(self):
+        # (a ##1 b) and (c) |=> gnt : both must match for an obligation.
+        keys = ("a", "b", "c", "gnt")
+        asr = "assert property ((a ##1 b) and c |=> gnt);"
+        trigger = [dict(zip(keys, t)) for t in
+                   [(1, 0, 1, 0), (0, 1, 0, 0), (0, 0, 0, 0)]]
+        hw, sw, _ = run_both(asr, trigger)
+        assert hw == sw == [3]
+        no_trigger = [dict(zip(keys, t)) for t in
+                      [(1, 0, 0, 0), (0, 1, 0, 0), (0, 0, 0, 0)]]
+        hw, sw, _ = run_both(asr, no_trigger)
+        assert hw == sw == []
+
+    def test_sequence_or(self):
+        keys = ("a", "b", "c")
+        asr = "assert property (a or b |=> c);"
+        stim = [dict(zip(keys, t)) for t in [(0, 1, 0), (0, 0, 0)]]
+        hw, sw, _ = run_both(asr, stim)
+        assert hw == sw == [2]
+
+    def test_sequence_intersect(self):
+        # Same-length match: (a ##1 a) intersect (b ##1 b).
+        keys = ("a", "b", "c")
+        asr = "assert property ((a ##1 a) intersect (b ##1 b) |=> c);"
+        both = [dict(zip(keys, t)) for t in
+                [(1, 1, 0), (1, 1, 0), (0, 0, 0)]]
+        hw, sw, _ = run_both(asr, both)
+        assert hw == sw == [3]
+
+    def test_past_system_function(self):
+        # data must equal its previous value whenever valid.
+        asr = ("assert property (@(posedge clk) "
+               "valid |-> data == $past(data, 1));")
+        stim = [
+            {"valid": 0, "data": 5},
+            {"valid": 1, "data": 5},   # ok: past==5
+            {"valid": 1, "data": 7},   # fail: past==5, now 7
+        ]
+        hw, sw, _ = run_both(asr, stim)
+        assert hw == sw == [3]
+
+    def test_rose_function(self):
+        asr = "assert property (@(posedge clk) $rose(req) |=> gnt);"
+        stim = [
+            {"req": 0, "gnt": 0},
+            {"req": 1, "gnt": 0},   # rose here
+            {"req": 1, "gnt": 0},   # fail: gnt missing
+        ]
+        hw, sw, _ = run_both(asr, stim)
+        assert hw == sw == [3]
+
+    def test_bit_select_condition(self):
+        asr = ("assert property (@(posedge clk) "
+               "!(mcause[63] == 0 && MIE == 0 && MPIE == 0));")
+        stim = [
+            {"mcause": 1 << 63, "MIE": 0, "MPIE": 0},  # ok (bit set)
+            {"mcause": 0, "MIE": 1, "MPIE": 0},        # ok
+            {"mcause": 0, "MIE": 0, "MPIE": 0},        # fail
+        ]
+        hw, sw, _ = run_both(asr, stim)
+        assert hw == sw == [3]
+
+
+class TestUnsynthesizable:
+    def test_isunknown_rejected_at_compile(self):
+        with pytest.raises(UnsynthesizableError) as info:
+            compile_assertion(
+                "assert property (@(posedge clk) !$isunknown(data));",
+                WIDTHS)
+        assert "$isunknown" in str(info.value)
+
+    def test_unbounded_delay_rejected(self):
+        with pytest.raises(UnsynthesizableError):
+            compile_assertion(
+                "assert property (a ##[1:$] b |-> c);", WIDTHS)
+
+    def test_first_match_rejected(self):
+        with pytest.raises(UnsynthesizableError):
+            compile_assertion(
+                "assert property (first_match(a ##[1:2] b) |-> c);",
+                WIDTHS)
+
+    def test_goto_repetition_rejected(self):
+        with pytest.raises(UnsynthesizableError):
+            compile_assertion(
+                "assert property (a[->2] |-> b);", WIDTHS)
+
+    def test_within_rejected(self):
+        with pytest.raises(UnsynthesizableError):
+            compile_assertion(
+                "assert property (a within b |-> c);", WIDTHS)
+
+
+class TestResourceReports:
+    def test_report_counts_plausible(self):
+        monitor = compile_assertion(PAPER_EXAMPLE, WIDTHS)
+        report = monitor.report
+        # A one-deep implication needs only a few state bits.
+        assert 1 <= report.flip_flops <= 8
+        assert report.lut_estimate >= 1
+        assert report.atoms >= 1
+
+    def test_past_adds_flip_flops(self):
+        without = compile_assertion(
+            "assert property (@(posedge clk) valid |-> ack);", WIDTHS)
+        with_past = compile_assertion(
+            "assert property (@(posedge clk) "
+            "valid |-> data == $past(data, 2));", WIDTHS)
+        assert (with_past.report.flip_flops
+                > without.report.flip_flops + 8)
+
+    def test_monitor_is_plain_rtl(self):
+        monitor = compile_assertion(PAPER_EXAMPLE, WIDTHS)
+        # The module must elaborate and simulate standalone.
+        sim = Simulator(elaborate(monitor.module))
+        assert sim.peek("fail") in (0, 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.booleans(), st.booleans()),
+                min_size=1, max_size=25))
+def test_hw_sw_agree_on_random_stimulus(steps):
+    """The FSM monitor and software checker agree on arbitrary stimulus."""
+    stim = [{"resetn": int(r), "valid": int(v), "ack": int(a)}
+            for r, v, a in steps]
+    hw, sw, _ = run_both(PAPER_EXAMPLE, stim)
+    assert hw == sw
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.booleans()),
+                min_size=1, max_size=20))
+def test_hw_sw_agree_delay_range(steps):
+    stim = [{"a": int(x), "b": int(y)} for x, y in steps]
+    hw, sw, _ = run_both("assert property (a |-> ##[1:3] b);", stim)
+    assert hw == sw

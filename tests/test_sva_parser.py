@@ -1,0 +1,231 @@
+"""Tests for the SVA lexer, parser, and feature analysis (Table 4)."""
+
+import pytest
+
+from repro.errors import SvaSyntaxError, UnsynthesizableError
+from repro.sva import analyze_features, parse_assertion
+from repro.sva.ast import (
+    BoolBinary,
+    BoolCall,
+    BoolId,
+    BoolIndex,
+    BoolNum,
+    PropImplication,
+    PropSeq,
+    SeqBinary,
+    SeqBool,
+    SeqDelay,
+    SeqRepeat,
+)
+from repro.sva.features import SUPPORT_TABLE, assert_synthesizable, support_level
+from repro.sva.lexer import tokenize
+
+
+class TestLexer:
+    def test_operators_longest_first(self):
+        kinds = [t.text for t in tokenize("a |-> b |=> c ## d")[:-1]]
+        assert "|->" in kinds and "|=>" in kinds and "##" in kinds
+
+    def test_based_literals(self):
+        token = tokenize("8'hFF")[0]
+        assert token.value == 255
+        assert token.width == 8
+
+    def test_binary_literal(self):
+        token = tokenize("4'b1010")[0]
+        assert token.value == 10
+
+    def test_four_state_literal_rejected(self):
+        with pytest.raises(SvaSyntaxError):
+            tokenize("4'b10xz")
+
+    def test_hierarchical_identifier(self):
+        token = tokenize("core.lsu.valid")[0]
+        assert token.text == "core.lsu.valid"
+
+    def test_system_function_name(self):
+        tokens = tokenize("$past(a, 2)")
+        assert tokens[0].text == "$past"
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a // comment\n /* block */ b")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_junk_rejected(self):
+        with pytest.raises(SvaSyntaxError):
+            tokenize("a ` b")
+
+
+class TestParserShapes:
+    def test_paper_running_example(self):
+        prop = parse_assertion(
+            "ack_valid: assert property "
+            "(@(posedge clk) disable iff (!resetn) valid |-> ##1 ack);")
+        assert prop.name == "ack_valid"
+        assert prop.clock == "clk"
+        assert prop.clock_edge == "posedge"
+        assert prop.disable is not None
+        body = prop.body
+        assert isinstance(body, PropImplication)
+        assert body.overlapping
+        assert isinstance(body.antecedent, SeqBool)
+        delay = body.consequent
+        assert isinstance(delay, SeqDelay)
+        assert delay.left is None and delay.lo == 1 and delay.hi == 1
+
+    def test_paper_single_hash_spelling(self):
+        # The paper's snippet writes "#1" for the delay; we accept it.
+        prop = parse_assertion(
+            "assert property (@(posedge clk) valid |-> #1 ack);")
+        assert isinstance(prop.body, PropImplication)
+
+    def test_immediate_assertion(self):
+        prop = parse_assertion("assert (A == B);")
+        assert prop.immediate
+        body = prop.body
+        assert isinstance(body, PropSeq)
+        assert isinstance(body.seq.expr, BoolBinary)
+
+    def test_nonoverlapping_implication(self):
+        prop = parse_assertion("assert property (req |=> gnt);")
+        assert isinstance(prop.body, PropImplication)
+        assert not prop.body.overlapping
+
+    def test_fixed_delay(self):
+        prop = parse_assertion("assert property (a ##2 b);")
+        seq = prop.body.seq
+        assert isinstance(seq, SeqDelay)
+        assert seq.lo == seq.hi == 2
+
+    def test_delay_range(self):
+        prop = parse_assertion("assert property (a ##[1:3] b);")
+        seq = prop.body.seq
+        assert seq.lo == 1 and seq.hi == 3
+
+    def test_empty_delay_range_rejected(self):
+        with pytest.raises(SvaSyntaxError):
+            parse_assertion("assert property (a ##[3:1] b);")
+
+    def test_consecutive_repetition(self):
+        prop = parse_assertion("assert property ((a ##1 b)[*2] |-> c);")
+        rep = prop.body.antecedent
+        assert isinstance(rep, SeqRepeat)
+        assert rep.lo == rep.hi == 2
+        assert rep.kind == "consecutive"
+
+    def test_sequence_and(self):
+        prop = parse_assertion("assert property (a and b |-> c);")
+        assert isinstance(prop.body.antecedent, SeqBinary)
+        assert prop.body.antecedent.op == "and"
+
+    def test_bit_select(self):
+        prop = parse_assertion("assert property (mcause[63] == 0 |-> x);")
+        atom = prop.body.antecedent.expr
+        assert isinstance(atom, BoolBinary)
+        assert isinstance(atom.left, BoolIndex)
+        assert atom.left.high == 63
+
+    def test_past_call(self):
+        prop = parse_assertion("assert property ($past(a, 2) |-> b);")
+        call = prop.body.antecedent.expr
+        assert isinstance(call, BoolCall)
+        assert call.func == "$past"
+        assert isinstance(call.args[1], BoolNum)
+
+    def test_label_optional(self):
+        prop = parse_assertion("assert property (a |-> b);")
+        assert prop.name is None
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(SvaSyntaxError):
+            parse_assertion("assert property (a |-> b); extra")
+
+    def test_local_variable_rejected(self):
+        with pytest.raises(UnsynthesizableError) as info:
+            parse_assertion(
+                "assert property (valid ##1 x = data |-> done);")
+        assert info.value.feature == "local-variable"
+
+    def test_async_reset_clocking_rejected(self):
+        with pytest.raises(UnsynthesizableError) as info:
+            parse_assertion(
+                "assert property (@(posedge clk or posedge rst) a |-> b);")
+        assert info.value.feature == "async-reset"
+
+    def test_first_match_parses(self):
+        prop = parse_assertion(
+            "assert property (first_match(a ##[1:2] b) |-> c);")
+        assert "first-match" in prop.features()
+
+    def test_unbounded_delay_parses_with_feature(self):
+        prop = parse_assertion("assert property (a ##[1:$] b |-> c);")
+        assert "unbounded-delay" in prop.features()
+
+    def test_paper_case_study_2_condition(self):
+        # Section 5.6: breakpoint on mcause[63]==0 && MIE==0 && MPIE==0.
+        prop = parse_assertion(
+            "assert property (@(posedge clk) "
+            "!(mcause[63] == 0 && MIE == 0 && MPIE == 0));")
+        assert prop.identifiers() == {"mcause", "MIE", "MPIE"}
+
+
+class TestFeatureAnalysis:
+    def test_table4_rows_exist(self):
+        expected = {
+            "immediate", "system-functions", "clocking", "implication",
+            "fixed-delay", "delay-range", "repetition",
+            "sequence-operator", "local-variable", "async-reset",
+            "first-match",
+        }
+        assert set(SUPPORT_TABLE) == expected
+
+    def test_support_levels_match_paper(self):
+        assert support_level("immediate") == "full"
+        assert support_level("system-functions") == "full"
+        assert support_level("clocking") == "single clock"
+        assert support_level("implication") == "full"
+        assert support_level("fixed-delay") == "full"
+        assert support_level("delay-range") == "finite"
+        assert support_level("repetition") == "only consecutive"
+        assert support_level("sequence-operator") == "finite"
+        assert support_level("local-variable") == "unsupported"
+        assert support_level("async-reset") == "unsupported"
+        assert support_level("first-match") == "unsupported"
+
+    def test_synthesizable_assertion(self):
+        report = analyze_features(
+            "assert property (@(posedge clk) valid |-> ##1 ack);")
+        assert report.synthesizable
+        assert "implication" in report.features
+
+    def test_isunknown_not_synthesizable(self):
+        report = analyze_features(
+            "assert property (@(posedge clk) !$isunknown(data));")
+        assert report.parsed
+        assert not report.synthesizable
+        assert "$isunknown" in report.unsupported
+
+    def test_local_variable_not_synthesizable(self):
+        report = analyze_features(
+            "assert property (valid ##1 x = data |-> done);")
+        assert not report.synthesizable
+        assert "local-variable" in report.unsupported
+
+    def test_first_match_not_synthesizable(self):
+        report = analyze_features(
+            "assert property (first_match(a ##[1:2] b) |-> c);")
+        assert not report.synthesizable
+
+    def test_unbounded_not_synthesizable(self):
+        report = analyze_features("assert property (a ##[1:$] b |-> c);")
+        assert not report.synthesizable
+
+    def test_syntax_error_reported(self):
+        report = analyze_features("assert property (a |->);")
+        assert not report.parsed
+        assert "syntax error" in report.reason
+
+    def test_assert_synthesizable_raises_with_reason(self):
+        with pytest.raises(UnsynthesizableError):
+            assert_synthesizable(
+                "assert property (first_match(a) |-> b);")

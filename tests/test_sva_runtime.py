@@ -1,0 +1,165 @@
+"""Dedicated tests for the software SVA checker (verification reuse)."""
+
+import pytest
+
+from repro.errors import SvaError
+from repro.rtl import ModuleBuilder, Simulator, elaborate, mux
+from repro.sva import SoftwareChecker
+
+
+def make_handshake_design():
+    """req pulses periodically; ack follows with a configurable lag."""
+    b = ModuleBuilder("hs")
+    lag_one = b.input("lag_one", 1)
+    counter = b.reg("counter", 3)
+    b.next(counter, counter + 1)
+    req = b.wire_expr("req", counter.eq(0))
+    ack_a = b.reg("ack_a", 1)
+    b.next(ack_a, req)
+    ack_b = b.reg("ack_b", 1)
+    b.next(ack_b, ack_a)
+    b.output_expr("req_o", req)
+    b.output_expr("ack_o", mux(lag_one, ack_a, ack_b))
+    return b.build()
+
+
+def run_checker(assertion, lag_one, cycles=32, prefix=""):
+    sim = Simulator(elaborate(make_handshake_design()))
+    checker = SoftwareChecker(assertion, sim, prefix=prefix).attach()
+    sim.poke("lag_one", int(lag_one))
+    sim.step(cycles)
+    return checker
+
+
+class TestImplicationTiming:
+    def test_one_cycle_lag_satisfies_hash1(self):
+        checker = run_checker(
+            "assert property (@(posedge clk) req |-> ##1 ack_o);",
+            lag_one=True)
+        assert checker.ok()
+        assert checker.matches >= 3
+
+    def test_two_cycle_lag_fails_hash1(self):
+        checker = run_checker(
+            "assert property (@(posedge clk) req |-> ##1 ack_o);",
+            lag_one=False)
+        assert not checker.ok()
+        # One failure per req pulse.
+        assert len(checker.failures) >= 3
+
+    def test_range_covers_both_lags(self):
+        for lag in (True, False):
+            checker = run_checker(
+                "assert property (@(posedge clk) req |-> ##[1:2] ack_o);",
+                lag_one=lag)
+            assert checker.ok(), f"lag_one={lag}"
+
+    def test_failure_records_obligation_origin(self):
+        checker = run_checker(
+            "assert property (@(posedge clk) req |-> ##1 ack_o);",
+            lag_one=False)
+        failure = checker.failures[0]
+        assert failure.cycle == failure.obligation_started + 1
+        assert "cycle" in str(failure)
+
+
+class TestSampledValueFunctions:
+    def test_stable_on_slow_signal(self):
+        b = ModuleBuilder("m")
+        slow = b.reg("slow", 4)
+        tick = b.reg("tick", 2)
+        b.next(tick, tick + 1)
+        b.next(slow, mux(tick.eq(3), slow + 1, slow))
+        b.output_expr("o", slow)
+        sim = Simulator(elaborate(b.build()))
+        checker = SoftwareChecker(
+            "assert property (@(posedge clk) "
+            "$stable(slow) || slow == $past(slow, 1) + 1);",
+            sim).attach()
+        sim.step(30)
+        assert checker.ok()
+
+    def test_fell_detection(self):
+        b = ModuleBuilder("m")
+        count = b.reg("count", 2)
+        b.next(count, count + 1)
+        pulse = b.wire_expr("pulse", count.lt(2))
+        flag = b.reg("flag", 1)
+        b.next(flag, pulse)
+        b.output_expr("o", flag)
+        sim = Simulator(elaborate(b.build()))
+        checker = SoftwareChecker(
+            "assert property (@(posedge clk) $fell(flag) |-> !pulse);",
+            sim).attach()
+        sim.step(20)
+        assert checker.ok()
+
+
+class TestDisable:
+    def test_disable_clears_outstanding_obligations(self):
+        b = ModuleBuilder("m")
+        rst_n = b.input("resetn", 1)
+        req = b.input("req", 1)
+        ack = b.input("ack", 1)
+        r = b.reg("r", 1)
+        b.next(r, req)
+        b.output_expr("o", r)
+        sim = Simulator(elaborate(b.build()))
+        checker = SoftwareChecker(
+            "assert property (@(posedge clk) disable iff (!resetn) "
+            "req |-> ##1 ack);", sim).attach()
+        sim.poke("resetn", 1)
+        sim.poke("req", 1)
+        sim.poke("ack", 0)
+        sim.step(1)          # obligation outstanding
+        sim.poke("resetn", 0)  # reset before the deadline
+        sim.poke("req", 0)
+        sim.step(3)
+        sim.poke("resetn", 1)
+        sim.step(5)
+        assert checker.ok()
+
+
+class TestResolution:
+    def test_unknown_signal_raises_at_bind(self):
+        sim = Simulator(elaborate(make_handshake_design()))
+        with pytest.raises(SvaError):
+            SoftwareChecker(
+                "assert property (@(posedge clk) bogus |-> req);", sim)
+
+    def test_prefix_resolution(self):
+        inner = make_handshake_design()
+        b = ModuleBuilder("top")
+        lag = b.input("lag_one", 1)
+        refs = b.instantiate(inner, "u", inputs={"lag_one": lag})
+        b.output_expr("o", refs["req_o"])
+        sim = Simulator(elaborate(b.build()))
+        checker = SoftwareChecker(
+            "assert property (@(posedge clk) req |-> ##1 ack_o);",
+            sim, prefix="u").attach()
+        sim.poke("lag_one", 1)
+        sim.step(24)
+        assert checker.ok()
+
+    def test_detach_stops_checking(self):
+        sim = Simulator(elaborate(make_handshake_design()))
+        checker = SoftwareChecker(
+            "assert property (@(posedge clk) req |-> ##1 ack_o);",
+            sim).attach()
+        sim.poke("lag_one", 0)
+        sim.step(10)
+        count = len(checker.failures)
+        assert count > 0
+        checker.detach()
+        sim.step(20)
+        assert len(checker.failures) == count
+
+
+class TestImmediateRuntime:
+    def test_immediate_checked_every_cycle(self):
+        sim = Simulator(elaborate(make_handshake_design()))
+        checker = SoftwareChecker(
+            "assert (counter < 6);", sim).attach()
+        sim.poke("lag_one", 0)
+        sim.step(16)  # counter wraps 0..7: values 6,7 fail twice
+        assert len(checker.failures) == 4

@@ -1,0 +1,220 @@
+"""Tests for the vendor toolchain model: synthesis, placement, routing,
+timing, ILA insertion, and the calibrated compile-time anchors."""
+
+import pytest
+
+from repro.designs import (
+    make_beehive_stack,
+    make_cluster,
+    make_counter,
+    make_manycore_soc,
+    make_serv_core,
+)
+from repro.errors import FlowError, PlacementError
+from repro.fpga import make_test_device, make_u200
+from repro.rtl import ModuleBuilder, elaborate
+from repro.vendor import (
+    IlaConfig,
+    ResourceVector,
+    VivadoFlow,
+    insert_ila,
+    synthesize,
+)
+from repro.vendor.place import Region, place, whole_slr
+from repro.vendor.reports import format_utilization_table
+from repro.vendor.synth import lut_cost
+from repro.rtl.expr import BinaryOp, Const, Mux, Ref
+
+
+class TestLutCost:
+    def test_adder_costs_width(self):
+        expr = BinaryOp("+", Ref("a", 8), Ref("b", 8))
+        assert lut_cost(expr) == 8
+
+    def test_constant_slices_free(self):
+        expr = Ref("a", 16)[7:0]
+        assert lut_cost(expr) == 0
+
+    def test_mux_costs_width(self):
+        expr = Mux(Ref("s", 1), Ref("a", 8), Ref("b", 8))
+        assert lut_cost(expr) == 8
+
+    def test_equality_cheaper_than_width(self):
+        expr = BinaryOp("==", Ref("a", 24), Ref("b", 24))
+        assert 0 < lut_cost(expr) < 24
+
+    def test_nested_ops_accumulate(self):
+        inner = BinaryOp("+", Ref("a", 8), Ref("b", 8))
+        outer = BinaryOp("^", inner, Ref("c", 8))
+        assert lut_cost(outer) == 16
+
+
+class TestSynthesize:
+    def test_serv_core_matches_published_size(self):
+        """SERV is famously ~200 LUTs; the model must land there."""
+        result = synthesize(make_serv_core(), opt="none")
+        local = result.per_module["serv_core"].local
+        assert 180 <= local.lut <= 230
+        assert 200 <= local.ff <= 280
+        assert local.lutram == 10
+
+    def test_shared_definitions_synthesize_once(self):
+        result = synthesize(make_manycore_soc(5400))
+        assert result.instance_counts["serv_core"] == 5400
+        # One entry per unique definition, not per instance.
+        assert set(result.per_module) == {
+            "serv_core", "cluster_12c", "manycore_5400"}
+
+    def test_global_opt_shrinks_luts(self):
+        soc = make_cluster()
+        opt = synthesize(soc, opt="global")
+        plain = synthesize(soc, opt="none")
+        assert opt.totals.lut < plain.totals.lut
+        assert opt.totals.ff == plain.totals.ff
+
+    def test_local_opt_between_global_and_none(self):
+        soc = make_cluster()
+        g = synthesize(soc, opt="global").totals.lut
+        l = synthesize(soc, opt="local").totals.lut
+        n = synthesize(soc, opt="none").totals.lut
+        assert g < l < n
+
+    def test_bram_inference(self):
+        result = synthesize(make_cluster())
+        assert result.per_module["cluster_12c"].local.bram == 5
+
+    def test_lutram_inference(self):
+        result = synthesize(make_serv_core())
+        assert result.per_module["serv_core"].local.lutram == 10
+
+
+class TestTable2:
+    """Paper Table 2: resource usage of the 5400-core SoC on a U200."""
+
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        return VivadoFlow(make_u200()).compile(
+            make_manycore_soc(5400), clocks={"clk": 50.0})
+
+    def test_utilization_matches_paper_shape(self, compiled):
+        util = compiled.utilization
+        # Paper: LUT 95.32, LUTRAM 8.96, FF 53.42, BRAM 98.19 (percent).
+        assert 90 <= util["LUT"] <= 97
+        assert 7 <= util["LUTRAM"] <= 11
+        assert 50 <= util["FF"] <= 58
+        assert 95 <= util["BRAM"] <= 99
+
+    def test_design_nearly_fills_device(self, compiled):
+        assert compiled.placement.peak_utilization() > 0.90
+
+    def test_report_renders(self, compiled):
+        text = format_utilization_table(compiled)
+        assert "LUT" in text and "%" in text
+
+    def test_timing_closes_at_50_not_100(self, compiled):
+        assert compiled.timing.met
+        flow = VivadoFlow(make_u200())
+        at100 = flow.compile(make_manycore_soc(5400), clocks={"clk": 100.0})
+        assert not at100.timing.met
+
+    def test_initial_compile_is_hours(self, compiled):
+        # The paper's initial compile is ~4.5 h; calibration must hold.
+        assert 3.5 * 3600 <= compiled.total_seconds <= 5.5 * 3600
+
+
+class TestVendorIncremental:
+    def test_roughly_ten_percent_gain(self):
+        flow = VivadoFlow(make_u200())
+        soc = make_manycore_soc(5400)
+        full = flow.compile(soc, clocks={"clk": 50.0})
+        incr = flow.compile_incremental(
+            soc, {"clk": 50.0}, previous=full)
+        speedup = full.total_seconds / incr.total_seconds
+        assert 1.03 <= speedup <= 1.25
+        assert incr.flow == "vivado-incremental"
+
+
+class TestPlacement:
+    def test_overflow_rejected(self):
+        device = make_test_device()
+        synth = synthesize(make_manycore_soc(60, 12, imem_depth=64))
+        with pytest.raises(PlacementError):
+            place(synth, device)
+
+    def test_small_design_stays_in_one_slr(self):
+        result = VivadoFlow(make_u200()).compile(
+            make_beehive_stack(), clocks={"clk": 250.0})
+        used = {slr for slr, occ in result.placement.occupancy.items()
+                if occ.total_cells()}
+        assert len(used) == 1
+        assert result.placement.slr_crossings == 0
+
+    def test_constraint_region_capacity_enforced(self):
+        device = make_u200()
+        synth = synthesize(make_cluster())
+        tiny = Region(slr=0, col_lo=0, col_hi=0, region_lo=0, region_hi=0)
+        with pytest.raises(PlacementError):
+            place(synth, device, constraints={"cluster_12c": tiny})
+
+    def test_flat_placement_emits_ll_entries(self):
+        device = make_test_device()
+        counter = make_counter(8)
+        synth = synthesize(counter)
+        placement = place(synth, device, flat=elaborate(counter))
+        assert placement.ll is not None
+        regs = placement.ll.by_register()
+        assert "count" in regs
+        assert len(regs["count"]) == 8
+        bits = [entry.bit for entry in regs["count"]]
+        assert bits == list(range(8))
+
+    def test_ll_respects_region_constraint(self):
+        device = make_test_device(2)
+        counter = make_counter(8)
+        synth = synthesize(counter)
+        constraint = whole_slr(device, 1)
+        placement = place(synth, device, flat=elaborate(counter),
+                          constraints={"": constraint})
+        assert placement.ll.slrs_used() == {1}
+
+
+class TestIla:
+    def test_resources_scale_with_probes(self):
+        small = insert_ila(
+            [IlaConfig(probes=(("a", 8),), depth=1024)], 10 ** 6)
+        large = insert_ila(
+            [IlaConfig(probes=(("a", 8), ("b", 64)), depth=1024)], 10 ** 6)
+        assert large.resources.lut > small.resources.lut
+        assert large.resources.bram >= small.resources.bram
+
+    def test_probe_budget_enforced(self):
+        with pytest.raises(FlowError):
+            IlaConfig(probes=(("big", 5000),))
+
+    def test_ila_adds_overhead_to_compile(self):
+        flow = VivadoFlow(make_u200())
+        bee = make_beehive_stack()
+        plain = flow.compile(bee, clocks={"clk": 250.0})
+        probed = flow.compile(
+            bee, clocks={"clk": 250.0},
+            ila_configs=[IlaConfig(probes=(("dropq.count", 3),
+                                           ("app.frames_delivered", 16)))])
+        assert probed.used_resources()["BRAM"] > \
+            plain.used_resources()["BRAM"]
+        assert probed.routed.congestion >= plain.routed.congestion
+
+
+class TestSmallDesignDatabase:
+    def test_counter_gets_database_and_bitstream(self):
+        flow = VivadoFlow(make_test_device())
+        result = flow.compile(make_counter(8), clocks={"clk": 100.0})
+        assert result.database is not None
+        assert result.bitstream
+        assert result.database.clocks["clk"] == 10_000  # 100 MHz in ps
+
+    def test_huge_design_skips_database(self):
+        flow = VivadoFlow(make_u200())
+        result = flow.compile(make_manycore_soc(5400),
+                              clocks={"clk": 50.0})
+        assert result.database is None
+        assert result.bitstream is None

@@ -1,0 +1,173 @@
+"""Tests for the netlist optimizer: folding, propagation, DCE, and —
+critically — semantics preservation (bounded equivalence + randomized
+lockstep)."""
+
+import copy
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.designs import make_cohort_soc, make_counter, make_pipeline
+from repro.rtl import ModuleBuilder, Simulator, elaborate, mux
+from repro.rtl.expr import BinaryOp, Const, Mux, Ref, Slice
+from repro.vendor.opt import OptReport, fold_expr, optimize_netlist
+
+
+def fold(expr):
+    return fold_expr(expr, OptReport())
+
+
+class TestFolding:
+    def test_constant_subtree_evaluated(self):
+        expr = BinaryOp("+", Const(3, 8), Const(4, 8))
+        folded = fold(expr)
+        assert isinstance(folded, Const)
+        assert folded.value == 7
+
+    def test_add_zero_identity(self):
+        expr = BinaryOp("+", Ref("a", 8), Const(0, 8))
+        assert fold(expr) is expr.a
+
+    def test_and_zero_collapses(self):
+        folded = fold(BinaryOp("&", Ref("a", 8), Const(0, 8)))
+        assert isinstance(folded, Const)
+        assert folded.value == 0
+
+    def test_and_allones_identity(self):
+        expr = BinaryOp("&", Ref("a", 8), Const(0xFF, 8))
+        assert fold(expr) is expr.a
+
+    def test_logical_shortcuts(self):
+        a = Ref("a", 1)
+        assert fold(BinaryOp("&&", a, Const(1, 1))) is a
+        folded = fold(BinaryOp("&&", a, Const(0, 1)))
+        assert isinstance(folded, Const) and folded.value == 0
+        assert fold(BinaryOp("||", Const(0, 1), a)) is a
+
+    def test_mux_constant_select(self):
+        a, b = Ref("a", 8), Ref("b", 8)
+        assert fold(Mux(Const(1, 1), a, b)) is a
+        assert fold(Mux(Const(0, 1), a, b)) is b
+
+    def test_nested_slices_flatten(self):
+        expr = Slice(Slice(Ref("a", 16), 11, 4), 5, 2)
+        folded = fold(expr)
+        assert isinstance(folded, Slice)
+        assert isinstance(folded.a, Ref)
+        assert (folded.high, folded.low) == (9, 6)
+
+    def test_full_width_slice_removed(self):
+        expr = Slice(Ref("a", 8), 7, 0)
+        assert fold(expr) is expr.a
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_folding_preserves_value(self, a, b):
+        expr = BinaryOp(
+            "^",
+            BinaryOp("+", Ref("a", 8), Const(0, 8)),
+            Mux(Const(1, 1), Ref("b", 8), Const(99, 8)))
+        env = {"a": a, "b": b}
+        assert fold(expr).eval(env) == expr.eval(env)
+
+
+def make_wasteful_design():
+    """A design with dead logic and constant-driven wires."""
+    b = ModuleBuilder("wasteful")
+    en = b.input("en", 1)
+    count = b.reg("count", 8)
+    b.next(count, mux(en, count + 1, count))
+    # Constant wire feeding live logic.
+    k = b.wire_expr("k", b.const(3, 8))
+    b.output_expr("out", count + b.sig("k"))
+    # Dead subtree: registers and wires nothing observes.
+    dead1 = b.reg("dead1", 16)
+    b.next(dead1, dead1 + 1)
+    b.wire_expr("dead_wire", dead1[7:0] ^ b.const(0x5A, 8))
+    return b.build()
+
+
+class TestNetlistPasses:
+    def test_constant_propagation_and_dce(self):
+        netlist = elaborate(make_wasteful_design())
+        report = optimize_netlist(netlist)
+        assert report.propagated_constants >= 1
+        assert "dead1" not in netlist.registers
+        assert "dead_wire" not in netlist.assigns
+        assert report.removed_registers >= 1
+
+    def test_optimized_design_still_simulates_identically(self):
+        original = elaborate(make_wasteful_design())
+        optimized = elaborate(make_wasteful_design())
+        optimize_netlist(optimized)
+        sim_a = Simulator(original)
+        sim_b = Simulator(optimized)
+        for cycle in range(20):
+            enable = cycle % 3 != 0
+            sim_a.poke("en", int(enable))
+            sim_b.poke("en", int(enable))
+            assert sim_a.peek("out") == sim_b.peek("out")
+            sim_a.step(1)
+            sim_b.step(1)
+
+    def test_outputs_never_removed(self):
+        netlist = elaborate(make_counter(8))
+        optimize_netlist(netlist)
+        assert "out" in netlist.assigns or "out" in netlist.signals
+
+    def test_memories_with_live_reads_kept(self):
+        b = ModuleBuilder("m")
+        addr = b.input("addr", 2)
+        memory = b.memory("mem", 8, 4, init={1: 7})
+        rd = b.read_port(memory, "rd", addr)
+        b.write_port(memory, addr, b.input("wd", 8), b.input("we", 1))
+        b.output_expr("o", rd)
+        netlist = elaborate(b.build())
+        optimize_netlist(netlist)
+        assert "mem" in netlist.memories
+
+    def test_bounded_equivalence_after_optimization(self):
+        from repro.formal.bmc import check_equivalence
+        original = elaborate(make_counter(4))
+        optimized = elaborate(make_counter(4))
+        optimize_netlist(optimized)
+        cex = check_equivalence(
+            original, optimized, alphabet={"en": [0, 1]},
+            outputs=["out"], depth=5)
+        assert cex is None
+
+    def test_cohort_optimizes_and_matches(self):
+        original = elaborate(make_cohort_soc(with_bug=False))
+        optimized = elaborate(make_cohort_soc(with_bug=False))
+        report = optimize_netlist(optimized)
+        sim_a = Simulator(original)
+        sim_b = Simulator(optimized)
+        sim_a.poke("en", 1)
+        sim_b.poke("en", 1)
+        for _ in range(100):
+            sim_a.step(1)
+            sim_b.step(1)
+        for out in ("acc", "results", "issued", "completed"):
+            assert sim_a.peek(out) == sim_b.peek(out)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.booleans(),
+                          st.integers(0, 65535)),
+                min_size=1, max_size=40))
+def test_pipeline_equivalence_random_lockstep(stimulus):
+    """Optimizer preserves the pipeline's observable behaviour under
+    arbitrary stimulus."""
+    original = elaborate(make_pipeline(depth=3))
+    optimized = elaborate(make_pipeline(depth=3))
+    optimize_netlist(optimized)
+    sim_a = Simulator(original)
+    sim_b = Simulator(optimized)
+    for valid, ready, data in stimulus:
+        for sim in (sim_a, sim_b):
+            sim.poke("in_valid", int(valid))
+            sim.poke("out_ready", int(ready))
+            sim.poke("in_data", data)
+        for out in ("out_valid", "out_data", "in_ready"):
+            assert sim_a.peek(out) == sim_b.peek(out)
+        sim_a.step(1)
+        sim_b.step(1)
