@@ -202,6 +202,13 @@ class FabricDevice:
         """
         self._require_booted()
         assert self.sim is not None
+        if self.db is None or not self.db.gate_signals:
+            # No design-driven gate requests exist, so the gate state is
+            # constant for the whole run: apply it once and step in one
+            # batch, letting the simulator's compiled hot loop take over.
+            self._apply_gates()
+            self.sim.step(cycles)
+            return
         for _ in range(cycles):
             self._apply_gates()
             self.sim.step(1)

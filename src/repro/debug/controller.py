@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from ..errors import DebugError
 from ..interfaces.decoupled import DecoupledInterface, REQUESTER
 from ..interfaces.pause_buffer import make_pause_buffer
+from ..rtl._codegen import compiled_plan_for
 from ..rtl.builder import ModuleBuilder
 from ..rtl.expr import Const, Expr, Ref, UnaryOp, mux
 from ..rtl.flatten import elaborate
@@ -445,6 +446,11 @@ def instrument_netlist(netlist: Netlist, watch: list[str],
 
     gate_signals = {domain: spec.pause_out for domain in mut_domains}
     netlist.validate()
+    # Warm the compiled-plan cache now that the netlist is final (all
+    # in-place rewrites above are done): every simulator built over this
+    # instrumented design — the ILA flow, VTI incremental runs, the
+    # benchmarks — reuses the plan instead of recompiling.
+    compiled_plan_for(netlist)
     return InstrumentedDesign(
         netlist=netlist, spec=spec, gate_signals=gate_signals,
         monitors=monitors, skipped_assertions=skipped,

@@ -29,10 +29,21 @@ from .module import Instance, Memory, Module, Port, Register
 from .builder import ModuleBuilder
 from .flatten import elaborate
 from .netlist import Netlist
-from .simulator import Simulator
+from ._codegen import clear_plan_cache, plan_cache_stats
+from .simulator import (
+    ENGINE_CLOSURES,
+    ENGINE_FUSED,
+    ENGINE_INTERPRETED,
+    ENGINES,
+    Simulator,
+)
 from .waveform import Trace, write_vcd
 
 __all__ = [
+    "ENGINE_CLOSURES",
+    "ENGINE_FUSED",
+    "ENGINE_INTERPRETED",
+    "ENGINES",
     "BinaryOp",
     "Concat",
     "Const",
@@ -52,8 +63,10 @@ __all__ = [
     "Trace",
     "UnaryOp",
     "cat",
+    "clear_plan_cache",
     "elaborate",
     "mux",
+    "plan_cache_stats",
     "reduce_and",
     "reduce_or",
     "reduce_xor",

@@ -1,15 +1,36 @@
-"""Compile expression trees to Python closures for fast simulation.
+"""Compile netlists to Python code for fast simulation.
 
-Recursive ``Expr.eval`` dominates simulation time for non-trivial designs.
-This module translates each expression into a single Python expression
-string over an environment dict ``e`` and compiles it once; the simulator
-then evaluates closures instead of walking ASTs. Semantics are identical to
-``Expr.eval`` (the test suite cross-checks them).
+Three evaluation tiers share this module (slowest to fastest):
+
+1. **interpreted** — recursive ``Expr.eval`` AST walking (no codegen);
+2. **compiled closures** — each expression becomes one compiled Python
+   expression over the environment dict (:func:`compile_expr`,
+   :func:`compile_assign_block`), the historical "compiled" mode;
+3. **fused kernels** — one generated function per *tick* of an active
+   clock-domain set, performing settle → register/memory-port sampling →
+   commit in a single pass over local variables, plus a ``run(n)``
+   variant that keeps the whole hot loop inside compiled code (signals
+   are loaded from the environment dict once before the loop and stored
+   back once after it).
+
+Semantics of every tier are identical to ``Expr.eval`` and to the
+simulator's interpreted tick (the differential test suite cross-checks
+them register-for-register).
+
+Compiled plans are cached in a small module-level registry keyed by a
+structural :meth:`~repro.rtl.netlist.Netlist.fingerprint`, so rebuilding
+a :class:`~repro.rtl.simulator.Simulator` over the same design (the ILA
+flow, VTI incremental runs, the benchmark suite) reuses codegen instead
+of recompiling. Plans snapshot the expressions they were built from, so
+in-place netlist mutation after a simulator was constructed (the
+instrumentation pass does this) cannot corrupt an already-cached plan.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 from .._bits import mask
 from .expr import BinaryOp, Concat, Const, Expr, Mux, Ref, Repl, Slice, UnaryOp
@@ -21,14 +42,19 @@ def _sig(name: str) -> str:
     return f"e[{name!r}]"
 
 
-def _to_py(expr: Expr) -> str:
-    """Translate ``expr`` to a Python expression string over dict ``e``."""
+def _to_py(expr: Expr, sym: Callable[[str], str] = _sig) -> str:
+    """Translate ``expr`` to a Python expression string.
+
+    ``sym`` maps a signal name to the Python expression that reads it —
+    an environment-dict subscript for the closure tier, a local variable
+    for fused kernels.
+    """
     if isinstance(expr, Const):
         return repr(expr.value)
     if isinstance(expr, Ref):
-        return _sig(expr.name)
+        return sym(expr.name)
     if isinstance(expr, UnaryOp):
-        a = _to_py(expr.a)
+        a = _to_py(expr.a, sym)
         width = expr.a.width
         if expr.op == "~":
             return f"(({a}) ^ {mask(width)})"
@@ -43,8 +69,8 @@ def _to_py(expr: Expr) -> str:
         # r^
         return f"(({a}).bit_count() & 1)"
     if isinstance(expr, BinaryOp):
-        a = _to_py(expr.a)
-        b = _to_py(expr.b)
+        a = _to_py(expr.a, sym)
+        b = _to_py(expr.b, sym)
         op = expr.op
         width = expr.width
         if op in ("+", "-", "*"):
@@ -77,26 +103,26 @@ def _to_py(expr: Expr) -> str:
             return f"(1 if {signed_a} {_SIGNED_CMP[op]} {signed_b} else 0)"
         raise AssertionError(f"unhandled binary op {op!r}")
     if isinstance(expr, Mux):
-        sel = _to_py(expr.sel)
-        t = _to_py(expr.if_true)
-        f = _to_py(expr.if_false)
+        sel = _to_py(expr.sel, sym)
+        t = _to_py(expr.if_true, sym)
+        f = _to_py(expr.if_false, sym)
         return f"(({t}) if ({sel}) else ({f}))"
     if isinstance(expr, Slice):
-        a = _to_py(expr.a)
+        a = _to_py(expr.a, sym)
         if expr.low == 0:
             return f"(({a}) & {mask(expr.width)})"
         return f"((({a}) >> {expr.low}) & {mask(expr.width)})"
     if isinstance(expr, Concat):
         out = None
         for part in expr.parts:
-            piece = f"(({_to_py(part)}) & {mask(part.width)})"
+            piece = f"(({_to_py(part, sym)}) & {mask(part.width)})"
             if out is None:
                 out = piece
             else:
                 out = f"(({out}) << {part.width} | {piece})"
         return out or "0"
     if isinstance(expr, Repl):
-        a = _to_py(expr.a)
+        a = _to_py(expr.a, sym)
         width = expr.a.width
         out = None
         for _ in range(expr.times):
@@ -130,3 +156,388 @@ def compile_assign_block(assigns: list[tuple[str, Expr]]) -> Callable[[dict[str,
     namespace: dict = {"min": min}
     exec(compile(source, "<rtl-settle>", "exec"), namespace)  # noqa: S102
     return namespace["_settle"]
+
+
+# ---------------------------------------------------------------------------
+# plan snapshots
+# ---------------------------------------------------------------------------
+#
+# A plan must not read the live netlist after construction: instrumentation
+# and pause-buffer insertion mutate Register/port objects in place, and a
+# cached plan may outlive the netlist state it was compiled from.
+
+@dataclass(frozen=True)
+class _RegSnap:
+    name: str
+    width: int
+    clock: str
+    next: Optional[Expr]
+    enable: Optional[Expr]
+    reset: Optional[Expr]
+    reset_value: int
+
+
+@dataclass(frozen=True)
+class _ReadPortSnap:
+    name: str
+    addr: Expr
+    sync: bool
+    enable: Optional[Expr]
+    clock: str
+
+
+@dataclass(frozen=True)
+class _WritePortSnap:
+    addr: Expr
+    data: Expr
+    enable: Expr
+    clock: str
+
+
+@dataclass(frozen=True)
+class _MemSnap:
+    name: str
+    width: int
+    depth: int
+    read_ports: tuple[_ReadPortSnap, ...]
+    write_ports: tuple[_WritePortSnap, ...]
+
+
+# ---------------------------------------------------------------------------
+# kernel code generation
+# ---------------------------------------------------------------------------
+
+class _KernelBuilder:
+    """Shared state while emitting one kernel: the signal-to-local map,
+    the memory-to-local map, and the set of locals stored back to the
+    environment when the kernel exits."""
+
+    def __init__(self, plan: "CompiledPlan"):
+        self.plan = plan
+        self.locals_of: dict[str, str] = {}
+        self.mem_of: dict[str, str] = {}
+        self.stores: dict[str, None] = {}
+        self._tmp = 0
+
+    def sym(self, name: str) -> str:
+        local = self.locals_of.get(name)
+        if local is None:
+            local = self.locals_of[name] = f"v{len(self.locals_of)}"
+        return local
+
+    def mem(self, name: str) -> str:
+        local = self.mem_of.get(name)
+        if local is None:
+            local = self.mem_of[name] = f"m{len(self.mem_of)}"
+        return local
+
+    def temp(self) -> str:
+        self._tmp += 1
+        return f"t{self._tmp}"
+
+    def store(self, name: str) -> str:
+        self.stores[name] = None
+        return self.sym(name)
+
+    # -- body fragments ----------------------------------------------------
+
+    def emit_async_reads(self, lines: list[str], ind: str) -> None:
+        """Combinational memory read ports, applied in memory/port order
+        (matches ``Simulator._apply_async_reads``: each port's result is
+        visible to later ports and to the settle pass)."""
+        for memory in self.plan.memories:
+            for port in memory.read_ports:
+                if port.sync:
+                    continue
+                addr = self.temp()
+                out = self.store(port.name)
+                lines.append(f"{ind}{addr} = {_to_py(port.addr, self.sym)}")
+                lines.append(
+                    f"{ind}{out} = {self.mem(memory.name)}[{addr}] "
+                    f"if {addr} < {memory.depth} else 0")
+
+    def emit_settle(self, lines: list[str], ind: str) -> None:
+        """Async read pre-pass, topologically ordered assigns, async read
+        post-pass — the full combinational settle."""
+        self.emit_async_reads(lines, ind)
+        for name, expr in self.plan.assigns:
+            lines.append(f"{ind}{self.store(name)} = {_to_py(expr, self.sym)}")
+        self.emit_async_reads(lines, ind)
+
+    def emit_edge(self, lines: list[str], ind: str,
+                  active: tuple[str, ...]) -> None:
+        """Sample-and-commit for one edge of the ``active`` domains.
+
+        Ordering is identical to the interpreted tick: all register
+        next-values are sampled, then all memory write ports, then all
+        synchronous read ports (read-before-write); commits happen in
+        the same three groups afterwards.
+        """
+        reg_commits: list[tuple[str, str]] = []
+        for domain in active:
+            for reg_name in self.plan.regs_by_domain.get(domain, ()):
+                reg = self.plan.regs[reg_name]
+                if reg.next is None and reg.reset is None:
+                    continue
+                value = self.sym(reg_name)
+                sample = self.temp()
+                nxt = (f"({_to_py(reg.next, self.sym)}) & {mask(reg.width)}"
+                       if reg.next is not None else value)
+                if reg.reset is not None:
+                    body = (f"{sample} = {reg.reset_value} "
+                            f"if ({_to_py(reg.reset, self.sym)}) else {nxt}")
+                else:
+                    body = f"{sample} = {nxt}"
+                if reg.enable is not None:
+                    lines.append(f"{ind}{sample} = {value}")
+                    lines.append(
+                        f"{ind}if {_to_py(reg.enable, self.sym)}:")
+                    lines.append(f"{ind}    {body}")
+                else:
+                    lines.append(f"{ind}{body}")
+                self.stores[reg_name] = None
+                reg_commits.append((value, sample))
+
+        write_commits: list[tuple[str, str, str]] = []
+        read_commits: list[tuple[str, str]] = []
+        for domain in active:
+            for kind, memory, port in self.plan.port_plans.get(domain, ()):
+                if kind == "w":
+                    addr = self.temp()
+                    data = self.temp()
+                    lines.append(f"{ind}{addr} = -1")
+                    lines.append(
+                        f"{ind}if {_to_py(port.enable, self.sym)}:")
+                    lines.append(
+                        f"{ind}    {addr} = {_to_py(port.addr, self.sym)}")
+                    lines.append(f"{ind}    if {addr} < {memory.depth}:")
+                    lines.append(
+                        f"{ind}        {data} = "
+                        f"({_to_py(port.data, self.sym)}) "
+                        f"& {mask(memory.width)}")
+                    lines.append(f"{ind}    else:")
+                    lines.append(f"{ind}        {addr} = -1")
+                    write_commits.append((self.mem(memory.name), addr, data))
+                else:
+                    out = self.store(port.name)
+                    sample = self.temp()
+                    addr = self.temp()
+                    lines.append(f"{ind}{sample} = {out}")
+                    inner = ind
+                    if port.enable is not None:
+                        lines.append(
+                            f"{ind}if {_to_py(port.enable, self.sym)}:")
+                        inner = ind + "    "
+                    lines.append(
+                        f"{inner}{addr} = {_to_py(port.addr, self.sym)}")
+                    lines.append(
+                        f"{inner}{sample} = "
+                        f"{self.mem(memory.name)}[{addr}] "
+                        f"if {addr} < {memory.depth} else 0")
+                    read_commits.append((out, sample))
+
+        for value, sample in reg_commits:
+            lines.append(f"{ind}{value} = {sample}")
+        for mem_local, addr, data in write_commits:
+            lines.append(f"{ind}if {addr} >= 0: {mem_local}[{addr}] = {data}")
+        for out, sample in read_commits:
+            lines.append(f"{ind}{out} = {sample}")
+
+
+def _assemble(name: str, kb: _KernelBuilder, params: str,
+              body: list[str], loop: bool) -> Callable:
+    """Wrap a generated body in loads/stores and compile it."""
+    lines = [f"def {name}({params}):"]
+    for mem_name, local in kb.mem_of.items():
+        lines.append(f"    {local} = mems[{mem_name!r}]")
+    for sig_name, local in kb.locals_of.items():
+        lines.append(f"    {local} = e[{sig_name!r}]")
+    if loop:
+        lines.append("    for _ in range(n):")
+        lines.extend(body if body else ["        pass"])
+    else:
+        lines.extend(body if body else ["    pass"])
+    for sig_name in kb.stores:
+        lines.append(f"    e[{sig_name!r}] = {kb.locals_of[sig_name]}")
+    namespace: dict = {"min": min}
+    exec(compile("\n".join(lines), f"<rtl-{name}>", "exec"),  # noqa: S102
+         namespace)
+    return namespace[name]
+
+
+# ---------------------------------------------------------------------------
+# compiled plans
+# ---------------------------------------------------------------------------
+
+class CompiledPlan:
+    """Everything compiled once per netlist structure and shared by all
+    simulators of that structure.
+
+    Eagerly built: the fused settle kernel (used by every ``peek``).
+    Lazily built: the closure tier (needed only when hooks force the
+    general tick path, or when a simulator explicitly runs the
+    ``closures`` engine) and the per-domain-set tick/run kernels.
+    """
+
+    def __init__(self, netlist, fingerprint: Optional[str] = None):
+        self.fingerprint: str = fingerprint or netlist.fingerprint()
+        order = netlist.comb_order()
+        self.assigns: list[tuple[str, Expr]] = [
+            (name, netlist.assigns[name]) for name in order
+            if name in netlist.assigns]
+        self.regs: dict[str, _RegSnap] = {
+            name: _RegSnap(
+                name=name, width=reg.width, clock=reg.clock, next=reg.next,
+                enable=reg.enable, reset=reg.reset,
+                reset_value=reg.reset_value)
+            for name, reg in netlist.registers.items()}
+        self.memories: list[_MemSnap] = [
+            _MemSnap(
+                name=name, width=memory.width, depth=memory.depth,
+                read_ports=tuple(
+                    _ReadPortSnap(name=p.name, addr=p.addr, sync=p.sync,
+                                  enable=p.enable, clock=p.clock)
+                    for p in memory.read_ports),
+                write_ports=tuple(
+                    _WritePortSnap(addr=p.addr, data=p.data,
+                                   enable=p.enable, clock=p.clock)
+                    for p in memory.write_ports))
+            for name, memory in netlist.memories.items()]
+
+        self.regs_by_domain: dict[str, list[str]] = {}
+        for name, reg in self.regs.items():
+            self.regs_by_domain.setdefault(reg.clock, []).append(name)
+        #: domain -> ordered ("w"/"r", _MemSnap, port snapshot) tuples;
+        #: the order matches the closure tier's plans exactly, so commit
+        #: ordering is identical across evaluation tiers.
+        self.port_plans: dict[str, list] = {}
+        for memory in self.memories:
+            for wport in memory.write_ports:
+                self.port_plans.setdefault(wport.clock, []).append(
+                    ("w", memory, wport))
+            for rport in memory.read_ports:
+                if rport.sync:
+                    self.port_plans.setdefault(rport.clock, []).append(
+                        ("r", memory, rport))
+        self.reg_meta: dict[str, tuple[int, int]] = {
+            name: (reg.width, reg.reset_value)
+            for name, reg in self.regs.items()}
+
+        kb = _KernelBuilder(self)
+        body: list[str] = []
+        kb.emit_settle(body, "    ")
+        #: Fused settle kernel ``settle(env, mems)`` with async memory
+        #: read ports compiled in (the interpreted/closure tiers walk
+        #: them with ``Expr.eval`` instead).
+        self.settle: Callable = _assemble("_settle", kb, "e, mems",
+                                          body, loop=False)
+
+        self._settle_block: Optional[Callable] = None
+        self._closures = None
+        self._tick_kernels: dict[tuple[str, ...], Callable] = {}
+        self._run_kernels: dict[tuple[str, ...], Callable] = {}
+
+    # -- closure tier (lazy) ----------------------------------------------
+
+    def settle_block(self) -> Callable:
+        """The historical one-function-per-assign-block settle ``(env)``
+        (no async reads); the ``closures`` engine baseline."""
+        if self._settle_block is None:
+            self._settle_block = compile_assign_block(self.assigns)
+        return self._settle_block
+
+    def closures(self):
+        """Per-expression closures: (reg_next, reg_enable, reg_reset,
+        mem_plans) in the exact format the general tick consumes."""
+        if self._closures is None:
+            reg_next = {name: compile_expr(reg.next)
+                        for name, reg in self.regs.items() if reg.next}
+            reg_enable = {name: compile_expr(reg.enable)
+                          for name, reg in self.regs.items() if reg.enable}
+            reg_reset = {name: compile_expr(reg.reset)
+                         for name, reg in self.regs.items() if reg.reset}
+            mem_plans: dict[str, list] = {}
+            for memory in self.memories:
+                for wport in memory.write_ports:
+                    mem_plans.setdefault(wport.clock, []).append((
+                        "w", memory.name, compile_expr(wport.addr),
+                        compile_expr(wport.data), compile_expr(wport.enable),
+                        memory.depth, memory.width))
+                for rport in memory.read_ports:
+                    if rport.sync:
+                        enable = (compile_expr(rport.enable)
+                                  if rport.enable else None)
+                        mem_plans.setdefault(rport.clock, []).append((
+                            "r", memory.name, compile_expr(rport.addr),
+                            rport.name, enable, memory.depth, memory.width))
+            self._closures = (reg_next, reg_enable, reg_reset, mem_plans)
+        return self._closures
+
+    # -- fused kernels (lazy, per active domain set) -----------------------
+
+    def tick_kernel(self, active: tuple[str, ...]) -> Callable:
+        """``tick(env, mems)``: one full edge of ``active`` domains."""
+        kernel = self._tick_kernels.get(active)
+        if kernel is None:
+            kb = _KernelBuilder(self)
+            body: list[str] = []
+            kb.emit_settle(body, "    ")
+            kb.emit_edge(body, "    ", active)
+            kernel = _assemble("_tick", kb, "e, mems", body, loop=False)
+            self._tick_kernels[active] = kernel
+        return kernel
+
+    def run_kernel(self, active: tuple[str, ...]) -> Callable:
+        """``run(env, mems, n)``: ``n`` consecutive edges of ``active``
+        domains with the loop inside compiled code — signals live in
+        local variables for the whole run."""
+        kernel = self._run_kernels.get(active)
+        if kernel is None:
+            kb = _KernelBuilder(self)
+            body: list[str] = []
+            kb.emit_settle(body, "        ")
+            kb.emit_edge(body, "        ", active)
+            kernel = _assemble("_run", kb, "e, mems, n", body, loop=True)
+            self._run_kernels[active] = kernel
+        return kernel
+
+
+# ---------------------------------------------------------------------------
+# the plan cache
+# ---------------------------------------------------------------------------
+
+_PLAN_CACHE: "OrderedDict[str, CompiledPlan]" = OrderedDict()
+_PLAN_CACHE_LIMIT = 64
+_PLAN_STATS = {"hits": 0, "misses": 0}
+
+
+def compiled_plan_for(netlist) -> CompiledPlan:
+    """Return the (possibly cached) :class:`CompiledPlan` for a netlist.
+
+    The key is the structural fingerprint, so any netlist with identical
+    execution semantics — including the same object re-elaborated, or
+    mutated and fingerprinted again — shares one plan.
+    """
+    key = netlist.fingerprint()
+    plan = _PLAN_CACHE.get(key)
+    if plan is not None:
+        _PLAN_STATS["hits"] += 1
+        _PLAN_CACHE.move_to_end(key)
+        return plan
+    _PLAN_STATS["misses"] += 1
+    plan = CompiledPlan(netlist, fingerprint=key)
+    _PLAN_CACHE[key] = plan
+    while len(_PLAN_CACHE) > _PLAN_CACHE_LIMIT:
+        _PLAN_CACHE.popitem(last=False)
+    return plan
+
+
+def plan_cache_stats() -> dict[str, int]:
+    """Hit/miss counters plus current size (for tests and benchmarks)."""
+    return {**_PLAN_STATS, "size": len(_PLAN_CACHE)}
+
+
+def clear_plan_cache() -> None:
+    _PLAN_CACHE.clear()
+    _PLAN_STATS["hits"] = 0
+    _PLAN_STATS["misses"] = 0

@@ -9,6 +9,7 @@ readback/state-extraction machinery matches against.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from graphlib import CycleError, TopologicalSorter
 
@@ -78,6 +79,44 @@ class Netlist:
         except CycleError as exc:
             raise CombinationalLoopError(
                 f"combinational loop involving {exc.args[1]}") from None
+
+    def fingerprint(self) -> str:
+        """Structural hash of everything that determines execution.
+
+        Two netlists with equal fingerprints simulate identically, so the
+        compiled-plan cache can key on this: signals and widths, inputs,
+        assigns (in insertion order — it fixes the topological tie-break
+        of :meth:`comb_order`), registers with their full next/enable/
+        reset expressions and clock domains, and memory geometry with
+        every port expression. Memory/register *initial* values are
+        excluded on purpose: they configure a simulator's starting state,
+        not its compiled code.
+        """
+        h = hashlib.sha256()
+        out = h.update
+
+        def put(text: str) -> None:
+            out(text.encode())
+
+        put(f"n {self.name};")
+        for name, width in self.signals.items():
+            put(f"s {name} {width};")
+        for name in sorted(self.inputs):
+            put(f"i {name};")
+        for name, expr in self.assigns.items():
+            put(f"a {name}={expr!r};")
+        for name, reg in self.registers.items():
+            put(f"r {name} w{reg.width} c{reg.clock} n{reg.next!r} "
+                f"e{reg.enable!r} t{reg.reset!r} v{reg.reset_value};")
+        for name, memory in self.memories.items():
+            put(f"m {name} w{memory.width} d{memory.depth};")
+            for port in memory.read_ports:
+                put(f"rp {port.name} a{port.addr!r} s{port.sync} "
+                    f"e{port.enable!r} c{port.clock};")
+            for port in memory.write_ports:
+                put(f"wp a{port.addr!r} d{port.data!r} "
+                    f"e{port.enable!r} c{port.clock};")
+        return h.hexdigest()
 
     def state_elements(self) -> list[tuple[str, int]]:
         """(name, width) of every register plus (name, bits) per memory.

@@ -16,6 +16,22 @@ Semantics per clock edge of a ticking domain set:
 
 Simultaneously-edged domains commit together so cross-domain register
 transfers behave like real synchronized flops.
+
+Three evaluation engines implement these semantics (see
+``docs/architecture.md``, "The execution engine"):
+
+- ``interp`` — recursive ``Expr.eval`` AST walking;
+- ``closures`` — one compiled Python expression per RTL expression
+  (the historical "compiled" mode, kept as the benchmark baseline);
+- ``fused`` (the default) — one generated kernel per active clock-domain
+  set that performs the whole tick over local variables, plus a
+  ``run(n)`` kernel whose cycle loop stays inside compiled code.
+
+The fused engine transparently falls back to the general tick whenever
+exact observability is required: pre-edge hooks run between settle and
+sampling, edge hooks fire after every commit, and gating is re-checked
+at each edge, so hooks, gating, and single-stepping keep identical
+semantics across engines (the differential suite pins this).
 """
 
 from __future__ import annotations
@@ -25,11 +41,17 @@ from typing import Callable, Optional
 
 from .._bits import truncate
 from ..errors import SimulationError, UnknownSignalError
-from ._codegen import compile_assign_block, compile_expr
+from ._codegen import compiled_plan_for
 from .netlist import Netlist
 
 #: Default clock period used when none is specified (1 ns = 1 GHz).
 DEFAULT_PERIOD_PS = 1000
+
+#: Evaluation engine names (slowest to fastest).
+ENGINE_INTERPRETED = "interp"
+ENGINE_CLOSURES = "closures"
+ENGINE_FUSED = "fused"
+ENGINES = (ENGINE_INTERPRETED, ENGINE_CLOSURES, ENGINE_FUSED)
 
 
 @dataclass
@@ -63,13 +85,25 @@ class Simulator:
         by the design but not listed get :data:`DEFAULT_PERIOD_PS`.
     compiled:
         Use generated-code evaluation (fast) instead of AST walking.
+        Shorthand for ``engine="fused"`` / ``engine="interp"``.
+    engine:
+        Explicit evaluation engine: ``"fused"``, ``"closures"``, or
+        ``"interp"``. Overrides ``compiled`` when given.
     """
 
     def __init__(self, netlist: Netlist,
                  clocks: Optional[dict[str, int]] = None,
-                 compiled: bool = True):
+                 compiled: bool = True,
+                 engine: Optional[str] = None):
+        if engine is None:
+            engine = ENGINE_FUSED if compiled else ENGINE_INTERPRETED
+        if engine not in ENGINES:
+            raise SimulationError(
+                f"unknown simulation engine {engine!r}; choose from "
+                f"{ENGINES}")
         self.netlist = netlist
-        self._compiled = compiled
+        self.engine = engine
+        self._compiled = engine != ENGINE_INTERPRETED
         clocks = dict(clocks or {})
         self.domains: dict[str, ClockDomain] = {}
         for domain in sorted(netlist.clock_domains() | set(clocks)):
@@ -91,23 +125,30 @@ class Simulator:
         for name, reg in netlist.registers.items():
             self.env[name] = truncate(reg.init, reg.width)
 
-        # Pre-compile evaluation plan.
-        order = netlist.comb_order()
-        ordered_assigns = [(n, netlist.assigns[n]) for n in order
-                           if n in netlist.assigns]
-        if compiled:
-            self._settle_fn = compile_assign_block(ordered_assigns)
-            self._reg_next = {
-                name: compile_expr(reg.next)
-                for name, reg in netlist.registers.items() if reg.next}
-            self._reg_enable = {
-                name: compile_expr(reg.enable)
-                for name, reg in netlist.registers.items() if reg.enable}
-            self._reg_reset = {
-                name: compile_expr(reg.reset)
-                for name, reg in netlist.registers.items() if reg.reset}
-            self._mem_plans = self._build_mem_plans(compile_expr)
+        # Pre-compile (or look up) the evaluation plan.
+        if self._compiled:
+            plan = compiled_plan_for(netlist)
+            self._plan = plan
+            self._regs_by_domain = plan.regs_by_domain
+            self._reg_meta = plan.reg_meta
+            if engine == ENGINE_CLOSURES:
+                self._settle_fn = plan.settle_block()
+                (self._reg_next, self._reg_enable,
+                 self._reg_reset, self._mem_plans) = plan.closures()
+            else:
+                self._settle_fn = plan.settle
+                # Closure tier materialized lazily, only if a hook ever
+                # forces the general tick (see _ensure_closures).
+                self._reg_next = None
+                self._reg_enable = None
+                self._reg_reset = None
+                self._mem_plans = None
         else:
+            self._plan = None
+            order = netlist.comb_order()
+            ordered_assigns = [(n, netlist.assigns[n]) for n in order
+                               if n in netlist.assigns]
+
             def _settle(env, _assigns=ordered_assigns):
                 for name, expr in _assigns:
                     env[name] = expr.eval(env)
@@ -122,11 +163,12 @@ class Simulator:
                 name: reg.reset.eval
                 for name, reg in netlist.registers.items() if reg.reset}
             self._mem_plans = self._build_mem_plans(lambda e: e.eval)
-
-        # Group registers and memory ports by domain for fast edge handling.
-        self._regs_by_domain: dict[str, list[str]] = {d: [] for d in self.domains}
-        for name, reg in netlist.registers.items():
-            self._regs_by_domain.setdefault(reg.clock, []).append(name)
+            self._reg_meta = {
+                name: (reg.width, reg.reset_value)
+                for name, reg in netlist.registers.items()}
+            self._regs_by_domain = {d: [] for d in self.domains}
+            for name, reg in netlist.registers.items():
+                self._regs_by_domain.setdefault(reg.clock, []).append(name)
 
         self._dirty = True
         # Post-commit hooks: fn(simulator, ticked_domains).
@@ -141,7 +183,7 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def _build_mem_plans(self, compiler):
-        """Per-domain memory port evaluation plans."""
+        """Per-domain memory port evaluation plans (interpreted tier)."""
         plans: dict[str, list] = {}
         for mem_name, memory in self.netlist.memories.items():
             for wport in memory.write_ports:
@@ -157,6 +199,13 @@ class Simulator:
                         rport.name, enable, memory.depth, memory.width))
         return plans
 
+    def _ensure_closures(self) -> None:
+        """Materialize the closure tier for the fused engine's fallback
+        tick (pre-edge hooks need settle/sample to be separable)."""
+        if self._reg_next is None:
+            (self._reg_next, self._reg_enable,
+             self._reg_reset, self._mem_plans) = self._plan.closures()
+
     # ------------------------------------------------------------------
     # combinational settling and async reads
     # ------------------------------------------------------------------
@@ -164,13 +213,18 @@ class Simulator:
     def _settle(self) -> None:
         if not self._dirty:
             return
-        # Async (combinational) memory read ports feed the settle pass, and
-        # may themselves depend on settled addresses; iterate to fixpoint.
-        # One pre-pass + settle + post-pass covers the supported patterns
-        # (addresses never combinationally depend on async read data).
-        self._apply_async_reads()
-        self._settle_fn(self.env)
-        self._apply_async_reads()
+        if self.engine == ENGINE_FUSED:
+            # Async (combinational) memory read ports are compiled into
+            # the fused settle kernel: pre-pass + assigns + post-pass.
+            self._settle_fn(self.env, self.memories)
+        else:
+            # Async read ports feed the settle pass, and may themselves
+            # depend on settled addresses; iterate to fixpoint. One
+            # pre-pass + settle + post-pass covers the supported patterns
+            # (addresses never combinationally depend on async read data).
+            self._apply_async_reads()
+            self._settle_fn(self.env)
+            self._apply_async_reads()
         self._dirty = False
 
     def _apply_async_reads(self) -> None:
@@ -271,18 +325,63 @@ class Simulator:
         """
         if cycles < 0:
             raise SimulationError("cannot step a negative number of cycles")
-        for _ in range(cycles):
-            if domain is not None:
+        if domain is not None:
+            dom = self._domain(domain)
+            if cycles and self._hot_loop_ok() and not dom.gated:
+                self._fused_run((domain,), cycles, advance_time=False)
+                return
+            for _ in range(cycles):
                 self._tick(frozenset({domain}))
-            else:
-                self._advance_one_event()
+            return
+        if cycles and self._hot_loop_ok() \
+                and not any(d.gated for d in self.domains.values()) \
+                and len({(d.period_ps, d.next_edge_ps)
+                         for d in self.domains.values()}) == 1:
+            # Every domain edges at every event: the whole run stays in
+            # one compiled hot loop, with time fixed up arithmetically.
+            self._fused_run(tuple(self.domains), cycles, advance_time=True)
+            return
+        for _ in range(cycles):
+            self._advance_one_event()
+
+    def _hot_loop_ok(self) -> bool:
+        """Whether the compiled run kernel may replace per-event ticks.
+
+        Hooks observe every edge and gating is re-evaluated per edge, so
+        any hook or any gated domain routes through the general path.
+        """
+        return (self.engine == ENGINE_FUSED
+                and not self.edge_hooks and not self.pre_edge_hooks)
+
+    def _fused_run(self, active: tuple[str, ...], cycles: int,
+                   advance_time: bool) -> None:
+        """Execute ``cycles`` edges of ``active`` domains in one kernel
+        call, then apply the clock bookkeeping arithmetically."""
+        self._plan.run_kernel(tuple(sorted(active)))(
+            self.env, self.memories, cycles)
+        for name in active:
+            dom = self.domains[name]
+            dom.cycles += cycles
+            dom.edges_seen += cycles
+            if advance_time:
+                dom.next_edge_ps += cycles * dom.period_ps
+        if advance_time:
+            dom = next(iter(self.domains.values()))
+            self.time_ps = dom.next_edge_ps - dom.period_ps
+        self._dirty = True
 
     def run_to_time(self, time_ps: int) -> None:
         """Advance global time up to and including ``time_ps``."""
+        if not self.domains:
+            raise SimulationError(
+                "design has no clock domains; nothing can advance time")
         while min(d.next_edge_ps for d in self.domains.values()) <= time_ps:
             self._advance_one_event()
 
     def _advance_one_event(self) -> None:
+        if not self.domains:
+            raise SimulationError(
+                "design has no clock domains; nothing can advance time")
         event_time = min(d.next_edge_ps for d in self.domains.values())
         ticking = frozenset(
             name for name, d in self.domains.items()
@@ -296,7 +395,7 @@ class Simulator:
     def _tick(self, ticking: frozenset[str]) -> None:
         """Apply one edge to the given domains (honouring gating)."""
         active = []
-        for name in ticking:
+        for name in sorted(ticking):
             dom = self._domain(name)
             dom.edges_seen += 1
             if not dom.gated:
@@ -304,27 +403,38 @@ class Simulator:
                 dom.cycles += 1
         if not active:
             return
-        self._settle()
         ticked = frozenset(active)
-        for hook in self.pre_edge_hooks:
-            hook(self, ticked)
-        self._settle()  # hooks may poke inputs; re-settle before sampling
+        if (self.engine == ENGINE_FUSED and not self.pre_edge_hooks):
+            # Whole tick in one fused kernel; post-commit hooks still
+            # fire per edge, so observers see every committed cycle.
+            self._plan.tick_kernel(tuple(active))(self.env, self.memories)
+            self._dirty = True
+            for hook in self.edge_hooks:
+                hook(self, ticked)
+            return
+        if self.engine == ENGINE_FUSED:
+            self._ensure_closures()
+        self._settle()
+        if self.pre_edge_hooks:
+            for hook in self.pre_edge_hooks:
+                hook(self, ticked)
+            self._settle()  # hooks may poke inputs; re-settle before sampling
         env = self.env
         reg_updates: list[tuple[str, int]] = []
         for domain in active:
             for reg_name in self._regs_by_domain.get(domain, ()):
-                reg = self.netlist.registers[reg_name]
                 enable = self._reg_enable.get(reg_name)
                 if enable is not None and not enable(env):
                     continue
+                width, reset_value = self._reg_meta[reg_name]
                 reset = self._reg_reset.get(reg_name)
                 if reset is not None and reset(env):
-                    reg_updates.append((reg_name, reg.reset_value))
+                    reg_updates.append((reg_name, reset_value))
                     continue
                 next_fn = self._reg_next.get(reg_name)
                 if next_fn is not None:
                     reg_updates.append(
-                        (reg_name, truncate(next_fn(env), reg.width)))
+                        (reg_name, truncate(next_fn(env), width)))
         mem_writes: list[tuple[str, int, int]] = []
         sync_reads: list[tuple[str, int]] = []
         for domain in active:
@@ -361,20 +471,40 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """Capture all architectural state (registers, memories, clocks)."""
+        """Capture all architectural state (registers, memories, clocks,
+        synchronous read-port outputs, and per-domain clock phase)."""
         self._settle()
+        sync_outs = [
+            port.name
+            for memory in self.netlist.memories.values()
+            for port in memory.read_ports if port.sync]
         return {
             "registers": {
                 name: self.env[name] for name in self.netlist.registers},
             "memories": {
                 name: list(words) for name, words in self.memories.items()},
             "inputs": {name: self.env[name] for name in self.netlist.inputs},
+            "read_ports": {name: self.env[name] for name in sync_outs},
             "time_ps": self.time_ps,
             "cycles": {name: d.cycles for name, d in self.domains.items()},
+            "clocks": {
+                name: {
+                    "cycles": d.cycles,
+                    "edges_seen": d.edges_seen,
+                    "next_edge_ps": d.next_edge_ps,
+                    "gated": d.gated,
+                }
+                for name, d in self.domains.items()},
         }
 
     def restore(self, snapshot: dict) -> None:
-        """Restore a snapshot captured by :meth:`snapshot`."""
+        """Restore a snapshot captured by :meth:`snapshot`.
+
+        Clock-phase state (``edges_seen``, ``next_edge_ps``, gating, and
+        the per-domain alignment of future edges) is restored alongside
+        the architectural state, so a restored multi-clock simulation
+        replays exactly — not just the committed cycle counts.
+        """
         for name, value in snapshot["registers"].items():
             if name not in self.netlist.registers:
                 raise SimulationError(
@@ -386,8 +516,22 @@ class Simulator:
             self.memories[name][:] = words
         for name, value in snapshot["inputs"].items():
             self.env[name] = value
+        for name, value in snapshot.get("read_ports", {}).items():
+            if name in self.env:
+                self.env[name] = value
         self.time_ps = snapshot["time_ps"]
-        for name, cycles in snapshot["cycles"].items():
-            if name in self.domains:
-                self.domains[name].cycles = cycles
+        clocks = snapshot.get("clocks")
+        if clocks is not None:
+            for name, state in clocks.items():
+                if name not in self.domains:
+                    continue
+                dom = self.domains[name]
+                dom.cycles = state["cycles"]
+                dom.edges_seen = state["edges_seen"]
+                dom.next_edge_ps = state["next_edge_ps"]
+                dom.gated = state["gated"]
+        else:  # legacy snapshots carry committed cycle counts only
+            for name, cycles in snapshot["cycles"].items():
+                if name in self.domains:
+                    self.domains[name].cycles = cycles
         self._dirty = True
