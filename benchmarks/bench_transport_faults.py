@@ -1,0 +1,83 @@
+"""Retry overhead of the verified transport under channel faults.
+
+The transport turns every control batch into a CRC-verified, retrying
+transaction (mutation testing for the configuration plane: perturb the
+channel, cross-check the output). This bench quantifies what that
+robustness costs: modeled readback seconds and retry counts across a
+ladder of fault rates, against the clean channel as the 1.0x baseline.
+"""
+
+from conftest import emit, emit_table
+
+
+def launch():
+    from repro import Zoomie, ZoomieProject
+    from repro.designs import make_cluster
+
+    project = ZoomieProject(
+        design=make_cluster(cores=2, imem_depth=64), device="TEST2",
+        clocks={"clk": 100.0}, watch=["retired_count"])
+    session = Zoomie(project).launch()
+    session.poke_input("en", 1)
+    session.run(40)
+    session.debugger.pause()
+    return session
+
+
+def test_transport_fault_overhead_ladder(benchmark):
+    from repro.config import FaultPlan, RetryPolicy
+
+    session = launch()
+    fabric, dbg = session.fabric, session.debugger
+
+    ROUNDS = 8
+
+    def full_readback():
+        """Several full state readbacks; returns modeled seconds."""
+        seconds = 0.0
+        for _ in range(ROUNDS):
+            snap = dbg.read_state()
+            seconds += snap.acquisition_seconds
+            # Faults never leak into values: every readback is exact.
+            for name, value in snap.values.items():
+                assert value == fabric.sim.peek(name), name
+        return seconds
+
+    rates = [0.0, 0.05, 0.15, 0.30, 0.50]
+    rows = []
+    clean_seconds = None
+    for rate in rates:
+        if rate:
+            fabric.enable_fault_injection(
+                FaultPlan(seed=2024, read_flip_rate=rate,
+                          truncate_rate=rate / 3),
+                RetryPolicy(max_attempts=16))
+        else:
+            fabric.disable_fault_injection()
+        stats = fabric.transport.stats
+        before = stats.as_dict()
+        seconds = benchmark.pedantic(full_readback, rounds=1,
+                                     iterations=1) \
+            if rate == 0.0 else full_readback()
+        after = stats.as_dict()
+        if clean_seconds is None:
+            clean_seconds = seconds
+        rows.append([
+            f"{rate:.2f}",
+            f"{int(after['batches'] - before['batches'])}",
+            f"{int(after['retries'] - before['retries'])}",
+            f"{int(after['corrupt_detected'] - before['corrupt_detected'])}",
+            f"{after['seconds_in_retry'] - before['seconds_in_retry']:.3f}s",
+            f"{seconds:.3f}s",
+            f"{seconds / clean_seconds:.2f}x",
+        ])
+
+    emit_table(
+        "Verified transport: retry overhead vs channel fault rate "
+        "(full state readback, seeded FaultPlan)",
+        ["flip rate", "batches", "retries", "corrupt", "retry time",
+         "readback", "vs clean"],
+        rows)
+    emit("Every corrupted batch was detected by the golden-channel CRC "
+         "and re-issued; no readback value ever diverged from "
+         "simulator truth.")

@@ -11,6 +11,19 @@ from __future__ import annotations
 import zlib
 
 
+def crc32_stream(words: list[int]) -> int:
+    """CRC-32 over a raw word stream (4 bytes big-endian per word).
+
+    Used by the transport layer to frame JTAG batches: the device side
+    accumulates it over the words it actually sends (the golden
+    channel), the host recomputes it over what arrived.
+    """
+    crc = 0
+    for word in words:
+        crc = zlib.crc32((word & 0xFFFF_FFFF).to_bytes(4, "big"), crc)
+    return crc & 0xFFFF_FFFF
+
+
 def crc32_words(pairs: list[tuple[int, int]]) -> int:
     """CRC over ``(register_address, data_word)`` pairs."""
     crc = 0

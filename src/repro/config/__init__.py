@@ -14,13 +14,23 @@ from .fabric import FabricDevice
 from .jtag import JtagRing, JtagResult
 from .logic_loc import LLEntry, LogicLocationFile
 from .microcontroller import Microcontroller
+from .transport import (
+    FaultPlan,
+    RetryPolicy,
+    TransportStats,
+    VerifiedTransport,
+)
 
 __all__ = [
     "DesignDatabase",
     "FabricDevice",
+    "FaultPlan",
     "JtagResult",
     "JtagRing",
     "LLEntry",
     "LogicLocationFile",
     "Microcontroller",
+    "RetryPolicy",
+    "TransportStats",
+    "VerifiedTransport",
 ]

@@ -28,8 +28,9 @@ from ..fpga.device import Device
 from ..fpga.frames import ConfigMemory, FrameSpace
 from ..rtl.simulator import Simulator
 from .database import DesignDatabase
-from .jtag import JtagRing
+from .jtag import JtagResult, JtagRing
 from .microcontroller import Microcontroller
+from .transport import FaultPlan, RetryPolicy, VerifiedTransport
 
 
 class FabricDevice:
@@ -42,12 +43,39 @@ class FabricDevice:
         self.mcs = [Microcontroller(self, index)
                     for index in range(device.slr_count)]
         self.jtag = JtagRing(self)
+        self.transport = VerifiedTransport(self.jtag)
         self.db: Optional[DesignDatabase] = None
         self.sim: Optional[Simulator] = None
         self.booted = False
         self._gate_mask = 0
         self._shutdown = False
         self._booted_db: Optional[DesignDatabase] = None
+
+    # ------------------------------------------------------------------
+    # the verified transport
+    # ------------------------------------------------------------------
+
+    def transact(self, words: list[int]) -> JtagResult:
+        """Run one configuration program as a verified transaction.
+
+        All debug-time control traffic (readback, capture-modify-restore
+        writes, memory writes) routes through here so channel faults are
+        detected by CRC and retried instead of silently consumed.
+        """
+        return self.transport.run(words)
+
+    def enable_fault_injection(self, plan: FaultPlan,
+                               policy: Optional[RetryPolicy] = None
+                               ) -> None:
+        """Install a seeded fault plan (and optionally a retry policy)
+        on this card's JTAG channel."""
+        self.transport.plan = plan
+        if policy is not None:
+            self.transport.policy = policy
+
+    def disable_fault_injection(self) -> None:
+        """Return to the perfect channel (verification stays on)."""
+        self.transport.plan = None
 
     # ------------------------------------------------------------------
     # programming lifecycle

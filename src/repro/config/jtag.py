@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from ..bitstream.crc import crc32_stream
 from ..bitstream.packets import Packet, READ, WRITE, decode_stream
 from ..bitstream.words import REGISTERS
 
@@ -47,6 +48,10 @@ class JtagResult:
     seconds: float = 0.0
     #: (target_slr, packet) execution trace.
     log: list[tuple[int, Packet]] = field(default_factory=list)
+    #: Device-side CRC-32 over ``read_words`` as they were sent back
+    #: (the golden channel). The verified transport compares the host's
+    #: CRC over the *received* words against this per batch.
+    read_crc: int = 0
 
 
 class JtagRing:
@@ -55,6 +60,8 @@ class JtagRing:
     def __init__(self, fabric: "FabricDevice"):
         self.fabric = fabric
         self.total_seconds = 0.0
+        #: Number of programs executed over this ring.
+        self.batches = 0
 
     def run(self, words: list[int]) -> JtagResult:
         """Execute one configuration/readback program."""
@@ -85,5 +92,7 @@ class JtagRing:
                     len(data) * 4 / JTAG_BYTES_PER_SECOND
                     + hops * HOP_SECONDS)
             result.log.append((target, packet))
+        result.read_crc = crc32_stream(result.read_words)
+        self.batches += 1
         self.total_seconds += result.seconds
         return result

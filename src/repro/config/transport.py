@@ -1,0 +1,302 @@
+"""Verified, fault-injectable JTAG transactions.
+
+The ring model in :mod:`repro.config.jtag` is a perfect channel; the
+physical ring the paper reverse-engineers (Sections 4.4-4.7) is not.
+This layer sits between assembled bitstream programs and
+:meth:`JtagRing.run` and makes every control operation a *verified
+transaction*:
+
+- every batch is framed: the host CRCs the outgoing command stream and
+  the device-side controller CRCs the read words it actually sends (the
+  golden channel, :attr:`JtagResult.read_crc`);
+- a seeded :class:`FaultPlan` deterministically perturbs the channel —
+  bit flips in read words, truncated FDRO bursts, dropped BOUT hop
+  pulses, transiently stuck secondary controllers;
+- mismatches surface as a typed taxonomy (:class:`TransportError`,
+  :class:`CorruptReadbackError`) and a bounded :class:`RetryPolicy`
+  re-issues the batch with exponential backoff.
+
+Command-path faults (dropped hops, stuck controllers) are detected by
+framing *before* anything executes — a batch whose hop group lost a
+pulse would otherwise capture, read, or worse *write* the wrong SLR.
+Read-path faults are detected after execution; re-issuing is safe
+because every debug batch is idempotent against a paused design
+(GCAPTURE recaptures the same values, FDRI rewrites the same frames).
+
+All waiting is modeled time: backoff charges seconds to the ring's
+clock, never the host's.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..bitstream.crc import crc32_stream
+from ..bitstream.packets import Packet, WRITE, decode_stream, encode_packet
+from ..bitstream.words import REGISTERS
+from ..errors import CorruptReadbackError, TransportError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .jtag import JtagResult, JtagRing
+
+_BOUT = REGISTERS["BOUT"]
+#: The single header word an empty BOUT write (one ring-hop pulse)
+#: encodes to; dropping one of these retargets the whole batch.
+HOP_PULSE_WORD = encode_packet(
+    Packet(opcode=WRITE, register=_BOUT, words=[]))[0]
+
+
+@dataclass
+class FaultPlan:
+    """Deterministic, seeded schedule of channel faults.
+
+    Rates are per-batch-attempt probabilities drawn from one
+    ``random.Random(seed)`` stream, so a failing run reproduces exactly
+    from its seed, and each retry re-draws — transient faults clear.
+    """
+
+    seed: int = 0
+    #: Probability that a batch's read words come back with 1..max_flips
+    #: flipped bits.
+    read_flip_rate: float = 0.0
+    #: Probability that a batch's FDRO response is truncated.
+    truncate_rate: float = 0.0
+    #: Probability that one BOUT hop pulse is dropped from the command
+    #: stream (only batches that hop can suffer this).
+    drop_hop_rate: float = 0.0
+    #: Probability that a targeted *secondary* controller goes stuck.
+    stuck_rate: float = 0.0
+    #: How many consecutive attempts a stuck controller stays stuck.
+    stuck_attempts: int = 2
+    max_flips: int = 3
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._stuck: dict[int, int] = {}
+
+    def reset(self) -> None:
+        """Rewind to the initial seeded state."""
+        self._rng = random.Random(self.seed)
+        self._stuck.clear()
+
+    def stick(self, slr: int, attempts: Optional[int] = None) -> None:
+        """Explicitly schedule ``slr``'s controller stuck for the next
+        ``attempts`` attempts that target it (deterministic tests)."""
+        self._stuck[slr] = (self.stuck_attempts if attempts is None
+                            else attempts)
+
+    # -- per-attempt draws (called by VerifiedTransport) ------------------
+
+    def deliver_commands(self, words: list[int]) -> list[int]:
+        """The command stream as the ring sees it (maybe one pulse short)."""
+        if self.drop_hop_rate and self._rng.random() < self.drop_hop_rate:
+            pulses = [index for index, word in enumerate(words)
+                      if word == HOP_PULSE_WORD]
+            if pulses:
+                drop = self._rng.choice(pulses)
+                return words[:drop] + words[drop + 1:]
+        return words
+
+    def stuck_target(self, secondaries: list[int]) -> Optional[int]:
+        """The stuck controller this attempt trips over, if any."""
+        for slr in secondaries:
+            remaining = self._stuck.get(slr, 0)
+            if remaining > 0:
+                self._stuck[slr] = remaining - 1
+                if not self._stuck[slr]:
+                    del self._stuck[slr]
+                return slr
+        if secondaries and self.stuck_rate \
+                and self._rng.random() < self.stuck_rate:
+            slr = self._rng.choice(secondaries)
+            if self.stuck_attempts > 1:
+                self._stuck[slr] = self.stuck_attempts - 1
+            return slr
+        return None
+
+    def deliver_response(self, words: list[int]) -> list[int]:
+        """The read words as the host receives them."""
+        delivered = words
+        if delivered and self.truncate_rate \
+                and self._rng.random() < self.truncate_rate:
+            delivered = delivered[:self._rng.randrange(len(delivered))]
+        if delivered and self.read_flip_rate \
+                and self._rng.random() < self.read_flip_rate:
+            delivered = list(delivered)
+            for _ in range(self._rng.randint(1, self.max_flips)):
+                index = self._rng.randrange(len(delivered))
+                delivered[index] ^= 1 << self._rng.randrange(32)
+        return delivered
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff (modeled seconds)."""
+
+    max_attempts: int = 6
+    backoff_seconds: float = 0.01
+    backoff_multiplier: float = 2.0
+    max_backoff_seconds: float = 0.25
+
+    def backoff_for(self, failure: int) -> float:
+        """Backoff after the ``failure``-th failed attempt (1-based)."""
+        return min(
+            self.backoff_seconds * self.backoff_multiplier ** (failure - 1),
+            self.max_backoff_seconds)
+
+
+@dataclass
+class TransportStats:
+    """Per-ring transaction counters."""
+
+    batches: int = 0
+    attempts: int = 0
+    retries: int = 0
+    corrupt_detected: int = 0
+    command_faults_detected: int = 0
+    stuck_detected: int = 0
+    exhausted: int = 0
+    seconds_in_retry: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "batches": self.batches,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "corrupt_detected": self.corrupt_detected,
+            "command_faults_detected": self.command_faults_detected,
+            "stuck_detected": self.stuck_detected,
+            "exhausted": self.exhausted,
+            "seconds_in_retry": self.seconds_in_retry,
+        }
+
+
+class VerifiedTransport:
+    """Retrying, CRC-verified transactions over one :class:`JtagRing`.
+
+    With no fault plan installed this is a zero-overhead pass-through:
+    the returned result (words *and* modeled seconds) is bit-identical
+    to calling ``ring.run`` directly — verification is host-side
+    arithmetic and charges no channel time.
+    """
+
+    def __init__(self, ring: "JtagRing",
+                 plan: Optional[FaultPlan] = None,
+                 policy: Optional[RetryPolicy] = None):
+        self.ring = ring
+        self.plan = plan
+        self.policy = policy or RetryPolicy()
+        self.stats = TransportStats()
+
+    def run(self, words: list[int]) -> "JtagResult":
+        """Execute one program as a verified transaction."""
+        self.stats.batches += 1
+        if self.plan is None:
+            self.stats.attempts += 1
+            result = self.ring.run(words)
+            self._verify(result.read_words, len(result.read_words),
+                         result.read_crc)
+            return result
+        wasted = 0.0
+        last_error: Optional[TransportError] = None
+        for attempt in range(1, self.policy.max_attempts + 1):
+            self.stats.attempts += 1
+            try:
+                result = self._attempt(words)
+            except TransportError as error:
+                last_error = error
+                wasted += error.seconds
+                self.stats.seconds_in_retry += error.seconds
+                if attempt < self.policy.max_attempts:
+                    self.stats.retries += 1
+                    pause = self.policy.backoff_for(attempt)
+                    self.ring.total_seconds += pause
+                    self.stats.seconds_in_retry += pause
+                    wasted += pause
+                continue
+            # The failed attempts' channel time is real session time:
+            # surface it on the result the caller accounts.
+            result.seconds += wasted
+            return result
+        self.stats.exhausted += 1
+        assert last_error is not None
+        raise type(last_error)(
+            f"transaction failed after {self.policy.max_attempts} "
+            f"attempts: {last_error}", kind=last_error.kind,
+            attempts=self.policy.max_attempts,
+            seconds=wasted) from last_error
+
+    # ------------------------------------------------------------------
+
+    def _attempt(self, words: list[int]) -> "JtagResult":
+        from .jtag import BATCH_OVERHEAD_SECONDS, JTAG_BYTES_PER_SECOND
+        plan = self.plan
+        assert plan is not None
+
+        # Command path: the primary controller checks the stream framing
+        # (word count + CRC) before executing anything — a dropped hop
+        # pulse must never silently retarget reads or writes.
+        delivered = plan.deliver_commands(words)
+        if len(delivered) != len(words) \
+                or crc32_stream(delivered) != crc32_stream(words):
+            seconds = BATCH_OVERHEAD_SECONDS \
+                + len(delivered) * 4 / JTAG_BYTES_PER_SECOND
+            self.ring.total_seconds += seconds
+            self.stats.command_faults_detected += 1
+            raise TransportError(
+                "command stream framing mismatch (BOUT hop pulse "
+                "dropped in transit); batch rejected before execution",
+                kind="command", seconds=seconds)
+
+        stuck = plan.stuck_target(self._secondary_targets(words))
+        if stuck is not None:
+            seconds = BATCH_OVERHEAD_SECONDS \
+                + len(words) * 4 / JTAG_BYTES_PER_SECOND
+            self.ring.total_seconds += seconds
+            self.stats.stuck_detected += 1
+            raise TransportError(
+                f"SLR{stuck} configuration controller not responding",
+                kind="stuck", seconds=seconds)
+
+        result = self.ring.run(words)
+        received = plan.deliver_response(result.read_words)
+        try:
+            self._verify(received, len(result.read_words), result.read_crc)
+        except CorruptReadbackError as error:
+            error.seconds = result.seconds
+            self.stats.corrupt_detected += 1
+            raise
+        return result
+
+    def _verify(self, received: list[int], sent_count: int,
+                golden_crc: int) -> None:
+        """Check the received read words against the golden framing."""
+        if len(received) != sent_count:
+            raise CorruptReadbackError(
+                f"truncated readback: received {len(received)} of "
+                f"{sent_count} words", kind="truncated")
+        if crc32_stream(received) != golden_crc:
+            raise CorruptReadbackError(
+                f"readback CRC mismatch over {len(received)} words "
+                f"(host CRC != golden channel CRC)")
+
+    def _secondary_targets(self, words: list[int]) -> list[int]:
+        """Secondary SLRs this program addresses (hop-group scan)."""
+        device = self.ring.fabric.device
+        primary = device.primary_slr
+        count = device.slr_count
+        targets: set[int] = set()
+        pending = 0
+        target = primary
+        for packet in decode_stream(words):
+            if packet.opcode == WRITE and packet.register == _BOUT \
+                    and not packet.words:
+                pending += 1
+                continue
+            if pending:
+                target = (primary + pending) % count
+                pending = 0
+            targets.add(target)
+        return sorted(slr for slr in targets if slr != primary)

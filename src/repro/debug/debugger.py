@@ -38,7 +38,13 @@ class ZoomieDebugger:
             raise DebugError("program the fabric before attaching")
         self.fabric = fabric
         self.inst = instrumented
-        self.engine = ReadbackEngine(fabric)
+        # Snapshots must record the same domain's cycle count as
+        # cycles(): the MUT's counted domain, not whichever simulator
+        # domain happens to sort first.
+        self.engine = ReadbackEngine(
+            fabric,
+            cycle_domain=(instrumented.mut_domains[0]
+                          if instrumented.mut_domains else None))
         #: Accumulated (modeled) JTAG seconds of this session.
         self.session_seconds = 0.0
 
@@ -245,7 +251,11 @@ class ZoomieDebugger:
         def sample() -> dict[str, int]:
             row: dict[str, int] = {}
             for name in names:
-                snapshot = self.engine.snapshot(prefix=name)
+                # Register sampling only: charging BRAM/LUTRAM content
+                # readback here would bill every sample for memory
+                # frames nobody asked for.
+                snapshot = self.engine.snapshot(prefix=name,
+                                                include_memories=False)
                 self.session_seconds += snapshot.acquisition_seconds
                 row.update(snapshot.values)
             return row
@@ -299,7 +309,7 @@ class ZoomieDebugger:
             asm.write_register("FAR", [address.to_word()])
             asm.write_register("FDRI", frames[address])
         asm.command("DESYNC").dummy(2)
-        result = self.fabric.jtag.run(asm.words)
+        result = self.fabric.transact(asm.words)
         self.session_seconds += result.seconds
 
     def restore(self, snapshot: StateSnapshot) -> None:
@@ -358,7 +368,7 @@ class ZoomieDebugger:
         for address in frames_needed:
             asm.read_frames(address, 1)
         asm.command("DESYNC").dummy(2)
-        result = self.fabric.jtag.run(asm.words)
+        result = self.fabric.transact(asm.words)
         self.session_seconds += result.seconds
         frame_words = {
             address: result.read_words[i * FRAME_WORDS:(i + 1) * FRAME_WORDS]
@@ -388,7 +398,7 @@ class ZoomieDebugger:
             asm.write_register("FDRI", frame_words[address])
         asm.restore()
         asm.command("DESYNC").dummy(2)
-        result = self.fabric.jtag.run(asm.words)
+        result = self.fabric.transact(asm.words)
         self.session_seconds += result.seconds
 
     def _hop(self, asm: BitstreamAssembler, slr: int) -> None:

@@ -52,12 +52,21 @@ class ReadbackResult:
 
 
 class ReadbackEngine:
-    """Reads design state off a :class:`FabricDevice`."""
+    """Reads design state off a :class:`FabricDevice`.
 
-    def __init__(self, fabric: FabricDevice):
+    ``cycle_domain`` names the clock domain whose committed-cycle count
+    snapshots record (the debugger passes the MUT's counted domain); by
+    default the alphabetically-first simulator domain is used, which on
+    multi-clock designs may be the free-running Zoomie domain rather
+    than the MUT.
+    """
+
+    def __init__(self, fabric: FabricDevice,
+                 cycle_domain: str | None = None):
         if fabric.db is None:
             raise DebugError("no design loaded on the fabric")
         self.fabric = fabric
+        self.cycle_domain = cycle_domain
 
     @property
     def db(self):
@@ -107,6 +116,22 @@ class ReadbackEngine:
     # executable readback
     # ------------------------------------------------------------------
 
+    def _coalesce(self, slr: int, frames: list[FrameAddress]
+                  ) -> tuple[list[FrameAddress],
+                             list[tuple[FrameAddress, int]]]:
+        """Dedupe + order ``frames`` by the SLR's frame space, then
+        coalesce contiguous addresses into (start, count) FDRO runs."""
+        order = {addr: idx for idx, addr
+                 in enumerate(self.fabric.spaces[slr].frames())}
+        wanted = sorted(dict.fromkeys(frames), key=lambda a: order[a])
+        runs: list[tuple[FrameAddress, int]] = []
+        for address in wanted:
+            if runs and order[address] == order[runs[-1][0]] + runs[-1][1]:
+                runs[-1] = (runs[-1][0], runs[-1][1] + 1)
+            else:
+                runs.append((address, 1))
+        return wanted, runs
+
     def read_slr(self, slr: int, frames: list[FrameAddress],
                  prefix: str = "") -> ReadbackResult:
         """Capture + read the given frames of one SLR over the ring."""
@@ -120,21 +145,12 @@ class ReadbackEngine:
             asm.dummy(4)
         asm.clear_mask()  # Section 4.7: always clear before readback
         asm.capture()
-        # Coalesce contiguous FAR runs into single FDRO bursts.
-        order = {addr: idx for idx, addr
-                 in enumerate(self.fabric.spaces[slr].frames())}
-        wanted = sorted(frames, key=lambda a: order[a])
-        runs: list[tuple[FrameAddress, int]] = []
-        for address in wanted:
-            if runs and order[address] == order[runs[-1][0]] + runs[-1][1]:
-                runs[-1] = (runs[-1][0], runs[-1][1] + 1)
-            else:
-                runs.append((address, 1))
+        wanted, runs = self._coalesce(slr, frames)
         for start, count in runs:
             asm.read_frames(start, count)
         asm.command("DESYNC").dummy(2)
 
-        result = self.fabric.jtag.run(asm.words)
+        result = self.fabric.transact(asm.words)
         words = result.read_words
         if len(words) != len(wanted) * FRAME_WORDS:
             raise DebugError(
@@ -204,12 +220,13 @@ class ReadbackEngine:
             by_slr.setdefault(self.db.memory_map[name].slr,
                               []).append(name)
         for slr, slr_names in sorted(by_slr.items()):
-            wanted: list[FrameAddress] = []
-            spans: dict[str, list[FrameAddress]] = {}
+            requested: list[FrameAddress] = []
             for name in slr_names:
-                frames = self.memory_frames(name)
-                spans[name] = frames
-                wanted.extend(frames)
+                requested.extend(self.memory_frames(name))
+            # Dedupe (a frame shared by several memories is read once)
+            # and coalesce contiguous content runs into FDRO bursts,
+            # exactly like register readback does.
+            wanted, runs = self._coalesce(slr, requested)
             device = self.fabric.device
             asm = BitstreamAssembler(device)
             asm.preamble()
@@ -220,11 +237,16 @@ class ReadbackEngine:
                 asm.dummy(4)
             asm.clear_mask()
             asm.capture()
-            for address in wanted:
-                asm.read_frames(address, 1)
+            for start, count in runs:
+                asm.read_frames(start, count)
             asm.command("DESYNC").dummy(2)
-            result = self.fabric.jtag.run(asm.words)
+            result = self.fabric.transact(asm.words)
             seconds += result.seconds
+            if len(result.read_words) != len(wanted) * FRAME_WORDS:
+                raise DebugError(
+                    f"short memory readback: got "
+                    f"{len(result.read_words)} words for "
+                    f"{len(wanted)} frames")
             frame_words = {
                 address: result.read_words[
                     i * FRAME_WORDS:(i + 1) * FRAME_WORDS]
@@ -257,7 +279,10 @@ class ReadbackEngine:
             seconds += mem_seconds
         cycle = None
         if self.fabric.sim is not None:
-            domain = next(iter(sorted(self.fabric.sim.domains)))
+            domains = self.fabric.sim.domains
+            domain = self.cycle_domain
+            if domain is None or domain not in domains:
+                domain = next(iter(sorted(domains)))
             cycle = self.fabric.sim.cycles(domain)
         return StateSnapshot(
             values=result.values, cycle=cycle, label=label,

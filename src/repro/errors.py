@@ -94,6 +94,38 @@ class JtagError(ReproError):
     """JTAG ring misuse (e.g. addressing a non-existent SLR)."""
 
 
+class TransportError(JtagError):
+    """A verified JTAG transaction failed.
+
+    Raised per attempt for channel faults detected before execution
+    (``kind="command"`` for framing failures such as dropped BOUT hop
+    pulses, ``kind="stuck"`` for a non-responding secondary controller)
+    and, with ``attempts`` set, when the retry policy is exhausted.
+    ``seconds`` carries the modeled channel time lost to the failure.
+    """
+
+    def __init__(self, message: str, kind: str = "transport",
+                 attempts: int = 0, seconds: float = 0.0):
+        super().__init__(message)
+        self.kind = kind
+        self.attempts = attempts
+        self.seconds = seconds
+
+
+class CorruptReadbackError(TransportError):
+    """Read words failed verification against the golden channel.
+
+    The per-batch CRC32 (or word count, for truncated FDRO bursts) did
+    not match what the device-side controller actually sent; the batch
+    must be re-issued, never consumed.
+    """
+
+    def __init__(self, message: str, kind: str = "corrupt",
+                 attempts: int = 0, seconds: float = 0.0):
+        super().__init__(message, kind=kind, attempts=attempts,
+                         seconds=seconds)
+
+
 # --------------------------------------------------------------------------
 # Vendor flow / VTI
 # --------------------------------------------------------------------------

@@ -241,6 +241,29 @@ class TestReadbackEngine:
         estimate = estimate_readback_seconds(naive.frames_read)
         assert 0.5 <= estimate / naive.seconds <= 2.0
 
+    def test_estimate_pinned_to_executed_path(self, debug_setup):
+        """The analytic model (used for paper-scale designs) and the
+        executable read_slr path must not silently drift: same frames,
+        same hops, within 5% — naive and optimized, every SLR."""
+        fabric, dbg, _ = debug_setup
+        engine = ReadbackEngine(fabric)
+        device = fabric.device
+        for slr in range(device.slr_count):
+            hops = (slr - device.primary_slr) % device.slr_count
+            executed = engine.read_slr_naive(slr)
+            estimate = estimate_readback_seconds(
+                executed.frames_read, hops)
+            drift = abs(estimate - executed.seconds) / executed.seconds
+            assert drift < 0.05, (
+                f"SLR{slr} naive: estimate {estimate:.6f}s vs "
+                f"executed {executed.seconds:.6f}s ({drift:.1%})")
+        optimized = engine.read_slr_optimized(0)
+        estimate = estimate_readback_seconds(optimized.frames_read, 0)
+        drift = abs(estimate - optimized.seconds) / optimized.seconds
+        assert drift < 0.05, (
+            f"optimized: estimate {estimate:.6f}s vs executed "
+            f"{optimized.seconds:.6f}s ({drift:.1%})")
+
 
 class TestDebuggerFrontEnd:
     @pytest.fixture()

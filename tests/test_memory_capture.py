@@ -130,3 +130,40 @@ class TestReplayWithMemories:
         }
         for name in design_regs:
             assert golden[name] == again[name], name
+
+
+class TestSampleOverAccounting:
+    """Bugfix regression: sample_over is pure register sampling and must
+    not charge BRAM/LUTRAM content readback to every sample."""
+
+    def test_register_snapshot_cheaper_than_with_memories(self, session):
+        dbg = session.debugger
+        dbg.run(40)
+        dbg.pause()
+        engine = dbg.engine
+        # core0.rf is a mapped LUTRAM under the sampled prefix.
+        reg_only = engine.snapshot(prefix="core0",
+                                   include_memories=False)
+        full = engine.snapshot(prefix="core0")
+        assert not reg_only.memories and full.memories
+        assert reg_only.acquisition_seconds < full.acquisition_seconds
+
+    def test_sample_over_charges_register_time_only(self, session):
+        dbg = session.debugger
+        dbg.run(40)
+        dbg.pause()
+        engine = dbg.engine
+        reg_cost = engine.snapshot(
+            prefix="core0", include_memories=False).acquisition_seconds
+        before = dbg.session_seconds
+        dbg.step(1)
+        step_cost = dbg.session_seconds - before
+
+        before = dbg.session_seconds
+        rows = dbg.sample_over(["core0"], cycles=2, stride=1)
+        spent = dbg.session_seconds - before
+        assert len(rows) == 3
+        # 3 samples of register frames + 2 single-cycle steps — and not
+        # a frame more (the memory frames would roughly double it).
+        assert spent == pytest.approx(3 * reg_cost + 2 * step_cost,
+                                      rel=1e-9)

@@ -93,6 +93,57 @@ class TestAlignedDomains:
         assert state["slow_count"] == fabric.sim.peek("slow_count")
 
 
+class TestSnapshotCycleDomain:
+    """Regression: snapshots must record the MUT's counted clock domain
+    — the same one ``ZoomieDebugger.cycles()`` reports — not whichever
+    simulator domain sorts first alphabetically (which can be the
+    free-running ``zoomie_clk`` and keeps counting while the design is
+    paused)."""
+
+    def launch_zz(self):
+        b = ModuleBuilder("zzdomain")
+        en = b.input("en", 1)
+        fast = b.reg("zz_count_a", 16, clock="zz_fast")
+        slow = b.reg("zz_count_b", 16, clock="zz_slow")
+        b.next(fast, fast + 1)
+        b.next(slow, slow + 1)
+        b.output_expr("a_out", fast)
+        b.output_expr("b_out", slow)
+        b.output_expr("active", en)
+        device = make_test_device()
+        netlist = elaborate(b.build())
+        inst = instrument_netlist(netlist, watch=["a_out"])
+        clocks = {"zz_fast": 200.0, "zz_slow": 100.0,
+                  "zoomie_clk": 200.0}
+        result = VivadoFlow(device).compile_netlist(
+            netlist, clocks, gate_signals=inst.gate_signals)
+        fabric = FabricDevice(device)
+        fabric.expect(result.database)
+        fabric.jtag.run(result.bitstream)
+        fabric.sim.poke("en", 1)
+        return fabric, ZoomieDebugger(fabric, inst), inst
+
+    def test_snapshot_records_mut_cycle_not_free_domain(self):
+        fabric, dbg, inst = self.launch_zz()
+        dbg.run(20)
+        dbg.pause()
+        # The free Zoomie domain keeps ticking while the MUT is frozen;
+        # the recorded cycle must not drift with it.
+        fabric.run(7)
+        snap = dbg.snapshot()
+        assert snap.cycle == dbg.cycles()
+        assert snap.cycle == fabric.sim.cycles(inst.mut_domains[0])
+        assert snap.cycle != fabric.sim.cycles("zoomie_clk")
+
+    def test_read_state_cycle_matches_too(self):
+        fabric, dbg, _ = self.launch_zz()
+        dbg.run(15)
+        dbg.pause()
+        fabric.run(3)
+        state = dbg.read_state()
+        assert state.cycle == dbg.cycles()
+
+
 class TestIncommensurateDomains:
     def test_step_refuses_without_force(self):
         fabric, dbg = launch(fast_mhz=250.0, slow_mhz=100.0)

@@ -1,0 +1,268 @@
+"""The verified JTAG transport: fault injection, CRC verification
+against the golden channel, and the bounded retry policy.
+
+The differential guard the transport must honour: with fault injection
+disabled it is a bit-identical pass-through (same read words, same
+modeled seconds as the raw ring); with a seeded FaultPlan active,
+corrupted batches are always *detected* — never silently consumed — and
+operations complete via retry with the damage visible in the stats.
+"""
+
+import pytest
+
+from repro import Zoomie, ZoomieProject
+from repro.bitstream.assembler import BitstreamAssembler
+from repro.bitstream.crc import crc32_stream
+from repro.config import FaultPlan, RetryPolicy
+from repro.config.transport import HOP_PULSE_WORD
+from repro.designs import make_cluster
+from repro.errors import CorruptReadbackError, TransportError
+
+
+@pytest.fixture()
+def session():
+    project = ZoomieProject(
+        design=make_cluster(cores=2, imem_depth=64), device="TEST2",
+        clocks={"clk": 100.0}, watch=["retired_count"])
+    session = Zoomie(project).launch()
+    session.poke_input("en", 1)
+    session.run(30)
+    session.debugger.pause()
+    return session
+
+
+def capture_read_program(fabric, slr, frames):
+    """A capture + FDRO readback program, as read_slr assembles it."""
+    asm = BitstreamAssembler(fabric.device)
+    asm.preamble()
+    hops = asm.hops_to(slr)
+    for _ in range(hops):
+        asm.write_register("BOUT", [])
+    if hops:
+        asm.dummy(4)
+    asm.clear_mask()
+    asm.capture()
+    asm.read_frames(frames[0], len(frames))
+    asm.command("DESYNC").dummy(2)
+    return asm.words
+
+
+class TestCleanChannel:
+    def test_transact_is_bit_identical_to_raw_ring(self, session):
+        """Differential guard: no plan -> pass-through, zero overhead."""
+        fabric = session.fabric
+        frames = session.debugger.engine.all_frames_of_slr(0)[:8]
+        direct = fabric.jtag.run(capture_read_program(fabric, 0, frames))
+        routed = fabric.transact(capture_read_program(fabric, 0, frames))
+        assert routed.read_words == direct.read_words
+        assert routed.seconds == direct.seconds
+        assert routed.read_crc == direct.read_crc
+
+    def test_golden_channel_crc_matches_read_words(self, session):
+        fabric = session.fabric
+        frames = session.debugger.engine.all_frames_of_slr(0)[:4]
+        result = fabric.transact(capture_read_program(fabric, 0, frames))
+        assert result.read_crc == crc32_stream(result.read_words)
+
+    def test_stats_count_clean_batches(self, session):
+        fabric = session.fabric
+        stats = fabric.transport.stats
+        before = stats.as_dict()
+        session.debugger.read_state()
+        after = stats.as_dict()
+        assert after["batches"] > before["batches"]
+        assert after["attempts"] - before["attempts"] \
+            == after["batches"] - before["batches"]
+        assert after["retries"] == before["retries"]
+        assert after["corrupt_detected"] == before["corrupt_detected"]
+        assert after["seconds_in_retry"] == before["seconds_in_retry"]
+
+    def test_ring_counts_batches(self, session):
+        fabric = session.fabric
+        before = fabric.jtag.batches
+        session.debugger.read_state(allow_running=True)
+        assert fabric.jtag.batches > before
+
+
+class TestFaultPlan:
+    def test_same_seed_same_faults(self):
+        words = list(range(64))
+        a = FaultPlan(seed=7, read_flip_rate=0.5, truncate_rate=0.3)
+        b = FaultPlan(seed=7, read_flip_rate=0.5, truncate_rate=0.3)
+        for _ in range(16):
+            assert a.deliver_response(list(words)) \
+                == b.deliver_response(list(words))
+
+    def test_reset_rewinds_the_stream(self):
+        words = list(range(64))
+        plan = FaultPlan(seed=3, read_flip_rate=0.7)
+        first = [plan.deliver_response(list(words)) for _ in range(8)]
+        plan.reset()
+        again = [plan.deliver_response(list(words)) for _ in range(8)]
+        assert first == again
+
+    def test_drop_hop_removes_exactly_one_pulse(self):
+        plan = FaultPlan(seed=1, drop_hop_rate=1.0)
+        words = [HOP_PULSE_WORD, HOP_PULSE_WORD, 0x123, HOP_PULSE_WORD]
+        delivered = plan.deliver_commands(list(words))
+        assert len(delivered) == len(words) - 1
+        assert delivered.count(HOP_PULSE_WORD) == 2
+        assert 0x123 in delivered
+
+    def test_no_pulses_nothing_to_drop(self):
+        plan = FaultPlan(seed=1, drop_hop_rate=1.0)
+        words = [0x123, 0x456]
+        assert plan.deliver_commands(list(words)) == words
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(max_attempts=8, backoff_seconds=0.01,
+                             backoff_multiplier=2.0,
+                             max_backoff_seconds=0.05)
+        waits = [policy.backoff_for(n) for n in range(1, 6)]
+        assert waits == [0.01, 0.02, 0.04, 0.05, 0.05]
+
+
+class TestFaultDetectionAndRetry:
+    def test_bit_flips_always_detected_never_silent(self, session):
+        """Across seeds: every corrupted batch is caught by CRC and the
+        retried result is exact against simulator truth."""
+        fabric, dbg = session.fabric, session.debugger
+        stats = fabric.transport.stats
+        tripped = False
+        for seed in range(40):
+            fabric.enable_fault_injection(
+                FaultPlan(seed=seed, read_flip_rate=0.5),
+                RetryPolicy(max_attempts=12))
+            before = stats.corrupt_detected
+            state = dbg.read_state()
+            for name, value in state.values.items():
+                assert value == fabric.sim.peek(name), (
+                    f"seed={seed}: silently corrupt value for {name}")
+            if stats.corrupt_detected > before:
+                tripped = True
+                break
+        assert tripped, "no corruption triggered across 40 seeds"
+        assert stats.retries > 0
+        assert stats.seconds_in_retry > 0.0
+
+    def test_persistent_corruption_raises_typed_error(self, session):
+        fabric, dbg = session.fabric, session.debugger
+        fabric.enable_fault_injection(
+            FaultPlan(seed=2, read_flip_rate=1.0),
+            RetryPolicy(max_attempts=3))
+        with pytest.raises(CorruptReadbackError) as info:
+            dbg.read_state()
+        assert info.value.attempts == 3
+        assert fabric.transport.stats.exhausted == 1
+
+    def test_truncated_burst_detected(self, session):
+        fabric, dbg = session.fabric, session.debugger
+        fabric.enable_fault_injection(
+            FaultPlan(seed=4, truncate_rate=1.0),
+            RetryPolicy(max_attempts=2))
+        with pytest.raises(CorruptReadbackError) as info:
+            dbg.read_state()
+        assert info.value.kind == "truncated"
+
+    def test_dropped_hop_rejected_before_execution(self, session):
+        """A batch whose hop group lost a pulse must never execute —
+        it would read (or write!) the wrong SLR."""
+        fabric, dbg = session.fabric, session.debugger
+        engine = dbg.engine
+        secondary = (fabric.device.primary_slr + 1) \
+            % fabric.device.slr_count
+        frames = engine.all_frames_of_slr(secondary)[:4]
+        logs_before = [list(mc.command_log) for mc in fabric.mcs]
+        fabric.enable_fault_injection(
+            FaultPlan(seed=3, drop_hop_rate=1.0),
+            RetryPolicy(max_attempts=3))
+        with pytest.raises(TransportError) as info:
+            engine.read_slr(secondary, frames)
+        assert info.value.kind == "command"
+        assert [list(mc.command_log) for mc in fabric.mcs] == logs_before
+        assert fabric.transport.stats.command_faults_detected == 3
+
+    def test_stuck_secondary_recovers_with_backoff(self, session):
+        fabric, dbg = session.fabric, session.debugger
+        engine = dbg.engine
+        secondary = (fabric.device.primary_slr + 1) \
+            % fabric.device.slr_count
+        frames = engine.all_frames_of_slr(secondary)[:4]
+        clean = engine.read_slr(secondary, frames)
+
+        plan = FaultPlan(seed=0)
+        plan.stick(secondary, attempts=2)
+        fabric.enable_fault_injection(plan, RetryPolicy(max_attempts=6))
+        stats = fabric.transport.stats
+        wasted_before = stats.seconds_in_retry
+        faulted = engine.read_slr(secondary, frames)
+
+        assert stats.stuck_detected == 2
+        assert stats.retries == 2
+        assert faulted.values == clean.values
+        wasted = stats.seconds_in_retry - wasted_before
+        assert faulted.seconds == pytest.approx(clean.seconds + wasted)
+        assert faulted.seconds > clean.seconds
+
+    def test_stuck_controller_only_affects_batches_targeting_it(
+            self, session):
+        fabric, dbg = session.fabric, session.debugger
+        engine = dbg.engine
+        secondary = (fabric.device.primary_slr + 1) \
+            % fabric.device.slr_count
+        plan = FaultPlan(seed=0)
+        plan.stick(secondary, attempts=1)
+        fabric.enable_fault_injection(plan)
+        stats = fabric.transport.stats
+        frames = engine.all_frames_of_slr(fabric.device.primary_slr)[:4]
+        engine.read_slr(fabric.device.primary_slr, frames)
+        assert stats.stuck_detected == 0  # primary batch sails through
+
+
+class TestRetryIdempotentOperations:
+    def test_write_state_exact_under_faults(self, session):
+        fabric, dbg = session.fabric, session.debugger
+        fabric.enable_fault_injection(
+            FaultPlan(seed=5, read_flip_rate=0.4),
+            RetryPolicy(max_attempts=12))
+        dbg.write_state({"core0.acc": 3})
+        assert fabric.sim.peek("core0.acc") == 3
+
+    def test_write_memory_exact_under_faults(self, session):
+        fabric, dbg = session.fabric, session.debugger
+        mem = fabric.db.netlist.memories["imem"]
+        words = [(index * 7 + 1) % (1 << mem.width)
+                 for index in range(mem.depth)]
+        fabric.enable_fault_injection(
+            FaultPlan(seed=6, read_flip_rate=0.4, drop_hop_rate=0.2),
+            RetryPolicy(max_attempts=12))
+        dbg.write_memory("imem", words)
+        assert list(fabric.sim.memories["imem"]) == words
+
+    def test_snapshot_restore_roundtrip_under_faults(self, session):
+        fabric, dbg = session.fabric, session.debugger
+        fabric.enable_fault_injection(
+            FaultPlan(seed=8, read_flip_rate=0.25, truncate_rate=0.1),
+            RetryPolicy(max_attempts=12))
+        snap = dbg.snapshot(label="before")
+        dbg.resume()
+        dbg.run(17)
+        dbg.pause()
+        dbg.restore(snap)
+        for name, value in snap.values.items():
+            if name in fabric.db.netlist.registers:
+                assert fabric.sim.peek(name) == value, name
+        for name, words in snap.memories.items():
+            assert list(fabric.sim.memories[name]) == words, name
+
+    def test_disable_returns_to_clean_channel(self, session):
+        fabric, dbg = session.fabric, session.debugger
+        fabric.enable_fault_injection(FaultPlan(seed=1, read_flip_rate=1.0),
+                                      RetryPolicy(max_attempts=2))
+        with pytest.raises(TransportError):
+            dbg.read_state()
+        fabric.disable_fault_injection()
+        retries_before = fabric.transport.stats.retries
+        state = dbg.read_state()
+        assert fabric.transport.stats.retries == retries_before
+        assert state["core0.acc"] == fabric.sim.peek("core0.acc")
