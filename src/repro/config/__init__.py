@@ -15,6 +15,7 @@ from .jtag import JtagRing, JtagResult
 from .logic_loc import LLEntry, LogicLocationFile
 from .microcontroller import Microcontroller
 from .transport import (
+    CrashPlan,
     FaultPlan,
     RetryPolicy,
     TransportStats,
@@ -22,6 +23,7 @@ from .transport import (
 )
 
 __all__ = [
+    "CrashPlan",
     "DesignDatabase",
     "FabricDevice",
     "FaultPlan",

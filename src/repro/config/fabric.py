@@ -30,7 +30,7 @@ from ..rtl.simulator import Simulator
 from .database import DesignDatabase
 from .jtag import JtagResult, JtagRing
 from .microcontroller import Microcontroller
-from .transport import FaultPlan, RetryPolicy, VerifiedTransport
+from .transport import CrashPlan, FaultPlan, RetryPolicy, VerifiedTransport
 
 
 class FabricDevice:
@@ -76,6 +76,18 @@ class FabricDevice:
     def disable_fault_injection(self) -> None:
         """Return to the perfect channel (verification stays on)."""
         self.transport.plan = None
+
+    def enable_crash_plan(self, plan: CrashPlan) -> None:
+        """Schedule a modeled host-process death on this card's session.
+
+        Transport-batch boundaries are enforced here; journaled-command
+        boundaries by the attached :class:`ZoomieDebugger`, which reads
+        the same plan off the transport.
+        """
+        self.transport.crash_plan = plan
+
+    def disable_crash_plan(self) -> None:
+        self.transport.crash_plan = None
 
     # ------------------------------------------------------------------
     # programming lifecycle

@@ -36,7 +36,11 @@ from typing import TYPE_CHECKING, Optional
 from ..bitstream.crc import crc32_stream
 from ..bitstream.packets import Packet, WRITE, decode_stream, encode_packet
 from ..bitstream.words import REGISTERS
-from ..errors import CorruptReadbackError, TransportError
+from ..errors import (
+    CorruptReadbackError,
+    SessionCrashedError,
+    TransportError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from .jtag import JtagResult, JtagRing
@@ -131,6 +135,61 @@ class FaultPlan:
         return delivered
 
 
+@dataclass
+class CrashPlan:
+    """A scheduled (modeled) death of the host debugger process.
+
+    Two independent boundaries, matching where real sessions die:
+
+    - ``at_command``: the host dies at the N-th *journaled command
+      boundary* (0-based). With ``before_apply=True`` the record is
+      durable but the command never executed; otherwise it dies right
+      after applying. Either way recovery replays to the same state —
+      the journal is write-ahead. Checked by :class:`ZoomieDebugger`.
+    - ``at_batch``: the host dies when the N-th transport batch
+      (0-based, counted from when the plan is installed) is about to be
+      issued — mid-command, the nastiest case. Checked here.
+
+    Once tripped, the plan keeps raising: a dead process does not
+    answer follow-up calls. Recovery happens on a *fresh* fabric.
+    """
+
+    at_command: Optional[int] = None
+    before_apply: bool = True
+    at_batch: Optional[int] = None
+    tripped: bool = False
+    #: Transport batches seen since installation.
+    batches_seen: int = 0
+
+    def trip(self, where: str) -> None:
+        self.tripped = True
+        raise SessionCrashedError(
+            f"host process died at {where} (injected CrashPlan)")
+
+    def check_alive(self) -> None:
+        if self.tripped:
+            raise SessionCrashedError(
+                "session is dead (CrashPlan already tripped); recover "
+                "on a fresh fabric")
+
+    def observe_batch(self) -> None:
+        """Called by the transport before issuing each batch."""
+        self.check_alive()
+        batch = self.batches_seen
+        self.batches_seen += 1
+        if self.at_batch is not None and batch >= self.at_batch:
+            self.trip(f"transport batch {batch}")
+
+    def observe_command(self, index: int, before: bool) -> None:
+        """Called by the debugger around each journaled command."""
+        self.check_alive()
+        if self.at_command is None or index != self.at_command:
+            return
+        if before == self.before_apply:
+            when = "before applying" if before else "after applying"
+            self.trip(f"command boundary #{index} ({when})")
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """Bounded retry with exponential backoff (modeled seconds)."""
@@ -189,15 +248,51 @@ class VerifiedTransport:
         self.plan = plan
         self.policy = policy or RetryPolicy()
         self.stats = TransportStats()
+        #: Injected host-death schedule (see :class:`CrashPlan`).
+        self.crash_plan: Optional[CrashPlan] = None
+        #: Modeled-seconds budget of the *current guarded operation*
+        #: (the debugger's watchdog window); None = no deadline. All
+        #: batches inside the window — including successful ones and
+        #: backoff waits — draw it down, so a permanently stuck
+        #: controller terminates within the deadline instead of
+        #: spinning through an arbitrarily generous retry policy.
+        self.deadline_remaining: Optional[float] = None
+
+    # -- watchdog window (driven by ZoomieDebugger) ---------------------
+
+    def begin_deadline(self, seconds: float) -> None:
+        self.deadline_remaining = seconds
+
+    def end_deadline(self) -> None:
+        self.deadline_remaining = None
+
+    @property
+    def deadline_active(self) -> bool:
+        return self.deadline_remaining is not None
+
+    def _charge_deadline(self, seconds: float) -> None:
+        if self.deadline_remaining is not None:
+            self.deadline_remaining -= seconds
+
+    def _deadline_expired(self) -> bool:
+        return self.deadline_remaining is not None \
+            and self.deadline_remaining <= 0
 
     def run(self, words: list[int]) -> "JtagResult":
         """Execute one program as a verified transaction."""
+        if self.crash_plan is not None:
+            self.crash_plan.observe_batch()
         self.stats.batches += 1
+        if self._deadline_expired():
+            raise TransportError(
+                "operation deadline already exhausted before this "
+                "batch", kind="deadline")
         if self.plan is None:
             self.stats.attempts += 1
             result = self.ring.run(words)
             self._verify(result.read_words, len(result.read_words),
                          result.read_crc)
+            self._charge_deadline(result.seconds)
             return result
         wasted = 0.0
         last_error: Optional[TransportError] = None
@@ -209,19 +304,34 @@ class VerifiedTransport:
                 last_error = error
                 wasted += error.seconds
                 self.stats.seconds_in_retry += error.seconds
+                self._charge_deadline(error.seconds)
+                if self._deadline_expired():
+                    break
                 if attempt < self.policy.max_attempts:
                     self.stats.retries += 1
                     pause = self.policy.backoff_for(attempt)
                     self.ring.total_seconds += pause
                     self.stats.seconds_in_retry += pause
                     wasted += pause
+                    self._charge_deadline(pause)
+                    if self._deadline_expired():
+                        break
                 continue
             # The failed attempts' channel time is real session time:
             # surface it on the result the caller accounts.
             result.seconds += wasted
+            self._charge_deadline(result.seconds - wasted)
             return result
-        self.stats.exhausted += 1
         assert last_error is not None
+        if self._deadline_expired():
+            raise TransportError(
+                f"operation deadline exhausted after {attempt} "
+                f"attempt(s) "
+                f"({wasted:.3f} s of modeled channel time lost): "
+                f"{last_error}", kind="deadline",
+                attempts=self.policy.max_attempts,
+                seconds=wasted) from last_error
+        self.stats.exhausted += 1
         raise type(last_error)(
             f"transaction failed after {self.policy.max_attempts} "
             f"attempts: {last_error}", kind=last_error.kind,

@@ -42,9 +42,13 @@ class ZoomieSession:
     debugger: ZoomieDebugger
 
     def poke_input(self, name: str, value: int) -> None:
-        """Drive a top-level input of the design under test."""
-        assert self.fabric.sim is not None
-        self.fabric.sim.poke(name, value)
+        """Drive a top-level input of the design under test.
+
+        Routed through the debugger so sessions with a write-ahead
+        journal attached record the poke: inputs are environment, not
+        readback-visible state, so recovery must replay them.
+        """
+        self.debugger.record_input(name, value)
 
     def run(self, cycles: int = 1) -> None:
         """Advance the fabric (breakpoints may pause earlier)."""

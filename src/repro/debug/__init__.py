@@ -12,7 +12,13 @@
   breakpoints, watch conditions, stepping, state read/write/force,
   snapshot and replay;
 - :mod:`ila_flow` — the traditional ILA debugging loop model used as the
-  baseline in the case studies.
+  baseline in the case studies;
+- :mod:`journal` — the crash-safe write-ahead log of state-mutating
+  debug commands (CRC32-framed records, modeled durability);
+- :mod:`snapshot_store` — content-addressed, checksummed snapshot
+  persistence;
+- :mod:`recovery` — deterministic rebuild of a crashed session from the
+  last good checkpoint plus journal replay, with divergence detection.
 """
 
 from .controller import (
@@ -22,23 +28,43 @@ from .controller import (
     make_debug_controller,
 )
 from .readback_engine import ReadbackEngine, estimate_readback_seconds
-from .state import StateSnapshot, diff_snapshots, parse_capture_frames
+from .state import (
+    StateSnapshot,
+    diff_snapshots,
+    parse_capture_frames,
+    validate_label,
+)
 from .debugger import ZoomieDebugger
+from .journal import CommandJournal, JournalRecord, read_journal
+from .snapshot_store import SnapshotStore
+from .recovery import (
+    RecoveryReport,
+    enable_crash_safety,
+    recover_session,
+)
 from .cli import ZoomieCli
 from .ila_flow import IlaDebugSession, ZoomieDebugSession
 
 __all__ = [
+    "CommandJournal",
     "DebugControllerSpec",
     "IlaDebugSession",
     "InstrumentedDesign",
+    "JournalRecord",
     "ReadbackEngine",
+    "RecoveryReport",
+    "SnapshotStore",
     "StateSnapshot",
     "ZoomieCli",
     "ZoomieDebugSession",
     "ZoomieDebugger",
     "diff_snapshots",
+    "enable_crash_safety",
     "estimate_readback_seconds",
     "instrument_netlist",
     "make_debug_controller",
     "parse_capture_frames",
+    "read_journal",
+    "recover_session",
+    "validate_label",
 ]

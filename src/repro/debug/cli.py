@@ -48,6 +48,11 @@ Commands:
   watchlist                         show value-trigger slots
   info                              session status
   clear                             clear all breakpoints
+  journal [N]                       show the last N write-ahead journal
+                                    records (default 10)
+  recover DIR                       rebuild this session from the crash-
+                                    safety directory DIR (journal +
+                                    snapshot store)
   help                              this text
   quit                              leave the repl"""
 
@@ -85,6 +90,8 @@ class ZoomieCli:
             "watchlist": self._cmd_watchlist,
             "info": self._cmd_info,
             "clear": self._cmd_clear,
+            "journal": self._cmd_journal,
+            "recover": self._cmd_recover,
             "help": lambda args: _HELP,
         }
 
@@ -266,3 +273,27 @@ class ZoomieCli:
     def _cmd_clear(self, args: list[str]) -> str:
         self.debugger.clear_breakpoints()
         return "all breakpoints cleared"
+
+    def _cmd_journal(self, args: list[str]) -> str:
+        journal = self.debugger.journal
+        if journal is None:
+            raise ValueError(
+                "no journal attached (enable_crash_safety first)")
+        if len(args) > 1:
+            raise ValueError("usage: journal [N]")
+        count = _parse_value(args[0]) if args else 10
+        if count <= 0:
+            raise ValueError("usage: journal [N] with N > 0")
+        if journal.count == 0:
+            return "journal is empty"
+        lines = [record.describe() for record in journal.tail(count)]
+        lines.append(f"({journal.count} record(s), "
+                     f"{journal.durable_count} durable)")
+        return "\n".join(lines)
+
+    def _cmd_recover(self, args: list[str]) -> str:
+        if len(args) != 1:
+            raise ValueError("usage: recover DIR")
+        from .recovery import recover_session
+        report = recover_session(self.debugger, args[0])
+        return report.describe()

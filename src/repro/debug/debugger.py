@@ -17,13 +17,22 @@ our atomic-JTAG model).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from typing import Optional
+
 from ..bitstream.assembler import BitstreamAssembler
 from ..config.fabric import FabricDevice
-from ..errors import BreakpointError, DebugError, NotPausedError
+from ..errors import (
+    BreakpointError,
+    DebugError,
+    DebugTimeoutError,
+    NotPausedError,
+    TransportError,
+)
 from ..fpga.frames import FRAME_WORDS, FrameAddress
 from .controller import InstrumentedDesign
 from .readback_engine import ReadbackEngine
-from .state import StateSnapshot
+from .state import StateSnapshot, validate_label
 
 #: Safety bound multiplier for run-until-pause loops.
 RUN_SLACK = 64
@@ -47,6 +56,171 @@ class ZoomieDebugger:
                           if instrumented.mut_domains else None))
         #: Accumulated (modeled) JTAG seconds of this session.
         self.session_seconds = 0.0
+        #: Write-ahead journal + content-addressed snapshot store
+        #: (attached together via :meth:`attach_crash_safety`).
+        self.journal = None
+        self.snapshot_store = None
+        #: Auto-checkpoint cadence in journaled commands (None = only
+        #: explicit snapshots become recovery bases).
+        self.checkpoint_every: Optional[int] = None
+        #: Watchdog: modeled-seconds deadline applied to each debug
+        #: operation (None = unbounded, the pre-watchdog behaviour).
+        self.op_deadline_seconds: Optional[float] = None
+        #: Whether the watchdog parked the session on the emergency
+        #: global clock gates after a timed-out operation.
+        self.safe_paused = False
+        self._since_checkpoint = 0
+        self._in_command = False
+        self._replaying = False
+
+    # ------------------------------------------------------------------
+    # crash safety: write-ahead journaling of mutating commands
+    # ------------------------------------------------------------------
+
+    def attach_crash_safety(self, journal, store,
+                            checkpoint_every: Optional[int] = None
+                            ) -> None:
+        """Journal every state-mutating command (write-ahead) and
+        persist snapshots content-addressed.
+
+        ``checkpoint_every`` additionally stores an automatic full
+        checkpoint after that many journaled commands, bounding how
+        much journal recovery must replay (the cadence/replay-cost
+        tradeoff is quantified in ``benchmarks/bench_recovery.py``).
+        """
+        if (journal is None) != (store is None):
+            raise DebugError(
+                "journal and snapshot store attach together (restore "
+                "records reference snapshots by content key)")
+        self.journal = journal
+        self.snapshot_store = store
+        self.checkpoint_every = checkpoint_every
+        self._since_checkpoint = 0
+
+    def detach_crash_safety(self) -> None:
+        self.journal = None
+        self.snapshot_store = None
+        self.checkpoint_every = None
+
+    @contextmanager
+    def _journaled(self, command: str, **args):
+        """Write-ahead frame around one mutating command.
+
+        The record becomes (policy-)durable *before* the command
+        executes; replay after a crash is idempotent because recovery
+        re-executes on a fresh fabric from the last good snapshot.
+        Nested commands (``step`` runs, ``restore`` writes memories)
+        journal only the outermost verb. An installed
+        :class:`~repro.config.transport.CrashPlan` is consulted at both
+        edges of the boundary.
+        """
+        crash = self.fabric.transport.crash_plan
+        if self._in_command or self._replaying or self.journal is None:
+            if crash is not None and not self._in_command:
+                crash.check_alive()
+            yield
+            return
+        self._in_command = True
+        try:
+            record = self.journal.append(command, args)
+            if crash is not None:
+                crash.observe_command(record.index, before=True)
+            yield
+            if crash is not None:
+                crash.observe_command(record.index, before=False)
+            self._maybe_checkpoint(command)
+        finally:
+            self._in_command = False
+
+    def _maybe_checkpoint(self, command: str) -> None:
+        if self.journal is None or self.snapshot_store is None:
+            return
+        if command == "snapshot":
+            # Explicit snapshots are checkpoints; restart the cadence.
+            self._since_checkpoint = 0
+            return
+        if not self.checkpoint_every:
+            return
+        self._since_checkpoint += 1
+        if self._since_checkpoint < self.checkpoint_every:
+            return
+        self._since_checkpoint = 0
+        snap = self.engine.snapshot(label="auto-checkpoint")
+        self.session_seconds += snap.acquisition_seconds
+        key = self.snapshot_store.put(snap)
+        self.journal.append("snapshot", {
+            "label": "auto-checkpoint", "key": key,
+            "cycle": snap.cycle, "auto": True})
+
+    def record_input(self, name: str, value: int) -> None:
+        """Drive (and journal) a top-level input of the design.
+
+        Input pokes are environment, not readback-visible state — a
+        snapshot cannot reconstruct them, so recovery replays every
+        journaled poke from the beginning of the journal.
+        """
+        with self._journaled("poke_input", name=name, value=value):
+            assert self.fabric.sim is not None
+            self.fabric.sim.poke(name, value)
+
+    # ------------------------------------------------------------------
+    # watchdog: modeled-seconds deadlines on debug operations
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def _op_guard(self, what: str):
+        """Bound one operation's modeled time.
+
+        With a deadline set, every transport batch (and retry backoff)
+        inside the operation draws down the budget; exhaustion aborts
+        the operation, parks the session safe-paused through the
+        primary controller's global clock gates — reachable even when
+        a secondary's controller is stuck — and surfaces a typed
+        :class:`DebugTimeoutError` instead of retrying forever.
+        """
+        transport = self.fabric.transport
+        deadline = self.op_deadline_seconds
+        if deadline is None or transport.deadline_active:
+            yield  # unbounded, or already inside a guarded operation
+            return
+        transport.begin_deadline(deadline)
+        try:
+            yield
+        except TransportError as error:
+            remaining = transport.deadline_remaining or 0.0
+            # Lift the (exhausted) deadline before the emergency stop:
+            # the safe-pause write itself must not be deadline-checked.
+            transport.end_deadline()
+            self._safe_pause()
+            raise DebugTimeoutError(
+                f"{what} did not complete within its {deadline:.3f} s "
+                f"modeled deadline ({error}); session safe-paused",
+                operation=what, deadline_seconds=deadline,
+                spent_seconds=deadline - remaining) from error
+        finally:
+            transport.end_deadline()
+
+    def _safe_pause(self) -> None:
+        """Emergency stop through the global clock-gate registers.
+
+        The gates live on the primary SLR's always-reachable controller
+        (paper Section 4.2), so this works even when the fault is a
+        stuck *secondary* — the design freezes and the session stays
+        inspectable after recovery or repair.
+        """
+        db = self.fabric.db
+        assert db is not None
+        mask = 0
+        for bit in db.domain_bits.values():
+            mask |= 1 << bit
+        self.fabric.set_clock_gates(mask, self.fabric.device.primary_slr)
+        self.safe_paused = True
+
+    def _clear_safe_pause(self) -> None:
+        if self.safe_paused:
+            self.fabric.set_clock_gates(
+                0, self.fabric.device.primary_slr)
+            self.safe_paused = False
 
     # ------------------------------------------------------------------
     # run control
@@ -57,6 +231,8 @@ class ZoomieDebugger:
         return self.inst.spec.pause_out
 
     def is_paused(self) -> bool:
+        if self.safe_paused:
+            return True  # watchdog parked the clocks (emergency gates)
         assert self.fabric.sim is not None
         return bool(self.fabric.sim.peek(self._pause_signal))
 
@@ -82,17 +258,19 @@ class ZoomieDebugger:
 
         Returns the number of fabric cycles advanced.
         """
-        ran = 0
-        while ran < max_cycles:
-            if self.is_paused():
-                break
-            self.fabric.run(1)
-            ran += 1
+        with self._journaled("run", max_cycles=max_cycles):
+            ran = 0
+            while ran < max_cycles:
+                if self.is_paused():
+                    break
+                self.fabric.run(1)
+                ran += 1
         return ran
 
     def pause(self) -> None:
         """Host-initiated pause (e.g. the design appears hung)."""
-        self._write_registers({self.inst.spec.host_pause_reg: 1})
+        with self._journaled("pause"), self._op_guard("pause"):
+            self._write_registers({self.inst.spec.host_pause_reg: 1})
 
     def resume(self, clear_triggers: bool = True) -> None:
         """Clear the pause latch and continue.
@@ -109,7 +287,10 @@ class ZoomieDebugger:
         }
         if clear_triggers:
             updates.update(self._trigger_clear_updates())
-        self._write_registers(updates)
+        with self._journaled("resume", clear_triggers=clear_triggers), \
+                self._op_guard("resume"):
+            self._clear_safe_pause()
+            self._write_registers(updates)
 
     def step(self, cycles: int = 1, force: bool = False) -> int:
         """Execute exactly ``cycles`` MUT cycles, then pause again
@@ -135,8 +316,11 @@ class ZoomieDebugger:
             self.inst.spec.host_pause_reg: 0,
         }
         updates.update(self._trigger_clear_updates())
-        self._write_registers(updates)
-        self.run(max_cycles=cycles + RUN_SLACK)
+        with self._journaled("step", cycles=cycles, force=force), \
+                self._op_guard("step"):
+            self._clear_safe_pause()
+            self._write_registers(updates)
+            self.run(max_cycles=cycles + RUN_SLACK)
         return self.cycles() - before
 
     # ------------------------------------------------------------------
@@ -166,7 +350,9 @@ class ZoomieDebugger:
             # Suppress comparison until one executed edge re-baselines
             # the shadow register (self-clearing arm bit).
             updates[slot.watch_arm_reg] = 1
-        self._write_registers(updates)
+        with self._journaled("set_watchpoint", signals=list(signals)), \
+                self._op_guard("set_watchpoint"):
+            self._write_registers(updates)
 
     def set_value_breakpoint(self, conditions: dict[str, int],
                              mode: str = "and") -> None:
@@ -189,25 +375,35 @@ class ZoomieDebugger:
         sel = (self.inst.spec.and_sel_reg if mode == "and"
                else self.inst.spec.or_sel_reg)
         updates[sel] = 1
-        self._write_registers(updates)
+        with self._journaled("set_value_breakpoint",
+                             conditions=dict(conditions), mode=mode), \
+                self._op_guard("set_value_breakpoint"):
+            self._write_registers(updates)
 
     def set_cycle_breakpoint(self, cycles: int) -> None:
         """Pause after ``cycles`` more cycles (without resuming now)."""
-        self._write_registers({
-            self.inst.spec.step_count_reg: cycles,
-            self.inst.spec.step_armed_reg: 1,
-        })
+        with self._journaled("set_cycle_breakpoint", cycles=cycles), \
+                self._op_guard("set_cycle_breakpoint"):
+            self._write_registers({
+                self.inst.spec.step_count_reg: cycles,
+                self.inst.spec.step_armed_reg: 1,
+            })
 
     def break_on_assertions(self, enable: bool = True) -> None:
         """Turn SVA failure pauses on or off (Section 3.4)."""
-        self._write_registers({
-            self.inst.spec.assert_en_reg: int(enable)})
+        with self._journaled("break_on_assertions",
+                             enable=bool(enable)), \
+                self._op_guard("break_on_assertions"):
+            self._write_registers({
+                self.inst.spec.assert_en_reg: int(enable)})
 
     def clear_breakpoints(self) -> None:
         updates = self._trigger_clear_updates()
         updates[self.inst.spec.step_armed_reg] = 0
         updates[self.inst.spec.assert_en_reg] = 0
-        self._write_registers(updates)
+        with self._journaled("clear_breakpoints"), \
+                self._op_guard("clear_breakpoints"):
+            self._write_registers(updates)
 
     # ------------------------------------------------------------------
     # state access
@@ -216,9 +412,13 @@ class ZoomieDebugger:
     def read_state(self, prefix: str = "",
                    allow_running: bool = False) -> StateSnapshot:
         """Read back all registers under ``prefix`` (full visibility)."""
+        crash = self.fabric.transport.crash_plan
+        if crash is not None:
+            crash.check_alive()
         if not allow_running:
             self._require_paused("state readback")
-        snapshot = self.engine.snapshot(prefix=prefix)
+        with self._op_guard("read_state"):
+            snapshot = self.engine.snapshot(prefix=prefix)
         self.session_seconds += snapshot.acquisition_seconds
         return snapshot
 
@@ -230,7 +430,9 @@ class ZoomieDebugger:
     def write_state(self, updates: dict[str, int]) -> None:
         """Force register values in the paused design (Section 3.3)."""
         self._require_paused("state writes")
-        self._write_registers(updates)
+        with self._journaled("write_state", updates=dict(updates)), \
+                self._op_guard("write_state"):
+            self._write_registers(updates)
 
     def force(self, name: str, value: int) -> None:
         self.write_state({name: value})
@@ -260,20 +462,40 @@ class ZoomieDebugger:
                 row.update(snapshot.values)
             return row
 
-        rows = [sample()]
-        taken = 0
-        while taken < cycles:
-            step = min(stride, cycles - taken)
-            self.step(step)
-            taken += step
-            rows.append(sample())
+        with self._op_guard("sample_over"):
+            rows = [sample()]
+            taken = 0
+            while taken < cycles:
+                step = min(stride, cycles - taken)
+                self.step(step)
+                taken += step
+                rows.append(sample())
         return rows
 
     def snapshot(self, label: str = "") -> StateSnapshot:
         """Capture the full design state for later replay."""
         self._require_paused("snapshots")
-        snap = self.engine.snapshot(label=label)
+        validate_label(label)
+        crash = self.fabric.transport.crash_plan
+        if crash is not None and not self._in_command:
+            crash.check_alive()
+        with self._op_guard("snapshot"):
+            snap = self.engine.snapshot(label=label)
         self.session_seconds += snap.acquisition_seconds
+        # Journaled *post hoc*: capture mutates nothing (GCAPTURE is a
+        # read), and the record must carry the content key, which only
+        # exists once the snapshot does. A crash "at" this boundary
+        # still lands after the record is durable.
+        if (self.journal is not None and self.snapshot_store is not None
+                and not self._in_command and not self._replaying):
+            key = self.snapshot_store.put(snap)
+            record = self.journal.append("snapshot", {
+                "label": label, "key": key, "cycle": snap.cycle,
+                "auto": False})
+            self._since_checkpoint = 0
+            if crash is not None:
+                crash.observe_command(record.index, before=True)
+                crash.observe_command(record.index, before=False)
         return snap
 
     def write_memory(self, name: str, words: list[int]) -> None:
@@ -290,39 +512,56 @@ class ZoomieDebugger:
             raise DebugError(
                 f"memory {name!r} holds {mem.depth} words, got "
                 f"{len(words)}")
-        space = self.fabric.spaces[placement.slr]
-        frames: dict[FrameAddress, list[int]] = {}
-        for index, word in enumerate(words):
-            for bit in range(mem.width):
-                address, offset = placement.locate_bit(
-                    space, index * mem.width + bit)
-                frame = frames.setdefault(address, [0] * FRAME_WORDS)
-                word_i, word_off = divmod(offset, 32)
-                if (word >> bit) & 1:
-                    frame[word_i] |= 1 << word_off
-        device = self.fabric.device
-        asm = BitstreamAssembler(device)
-        asm.preamble()
-        self._hop(asm, placement.slr)
-        asm.command("WCFG")
-        for address in sorted(frames):
-            asm.write_register("FAR", [address.to_word()])
-            asm.write_register("FDRI", frames[address])
-        asm.command("DESYNC").dummy(2)
-        result = self.fabric.transact(asm.words)
-        self.session_seconds += result.seconds
+        with self._journaled("write_memory", name=name,
+                             words=list(words)), \
+                self._op_guard("write_memory"):
+            space = self.fabric.spaces[placement.slr]
+            frames: dict[FrameAddress, list[int]] = {}
+            for index, word in enumerate(words):
+                for bit in range(mem.width):
+                    address, offset = placement.locate_bit(
+                        space, index * mem.width + bit)
+                    frame = frames.setdefault(address, [0] * FRAME_WORDS)
+                    word_i, word_off = divmod(offset, 32)
+                    if (word >> bit) & 1:
+                        frame[word_i] |= 1 << word_off
+            device = self.fabric.device
+            asm = BitstreamAssembler(device)
+            asm.preamble()
+            self._hop(asm, placement.slr)
+            asm.command("WCFG")
+            for address in sorted(frames):
+                asm.write_register("FAR", [address.to_word()])
+                asm.write_register("FDRI", frames[address])
+            asm.command("DESYNC").dummy(2)
+            result = self.fabric.transact(asm.words)
+            self.session_seconds += result.seconds
 
     def restore(self, snapshot: StateSnapshot) -> None:
-        """Load a snapshot back into the paused design (replay)."""
+        """Load a snapshot back into the paused design (replay).
+
+        With crash safety attached, the snapshot is first persisted to
+        the store (idempotent, content-addressed) so the journal record
+        can reference it by key instead of inlining the whole state.
+        """
         self._require_paused("snapshot restore")
+        args = {}
+        if (self.journal is not None and self.snapshot_store is not None
+                and not self._in_command and not self._replaying):
+            args["key"] = self.snapshot_store.put(snapshot)
+        # Anything the logic-location file knows is restorable — netlist
+        # registers plus BRAM output latches (sync read-port data).
+        locatable = self.fabric.db.ll.by_register()
         writable = {
             name: value for name, value in snapshot.values.items()
-            if name in self.fabric.db.netlist.registers
+            if name in locatable
         }
-        self._write_registers(writable)
-        for name, words in snapshot.memories.items():
-            if name in self.fabric.db.memory_map:
-                self.write_memory(name, words)
+        with self._journaled("restore", **args), \
+                self._op_guard("restore"):
+            self._write_registers(writable)
+            for name, words in snapshot.memories.items():
+                if name in self.fabric.db.memory_map:
+                    self.write_memory(name, words)
 
     def _require_paused(self, what: str) -> None:
         if not self.is_paused():

@@ -1,0 +1,143 @@
+"""Content-addressed, checksummed persistence for state snapshots.
+
+Snapshots are the durable checkpoints recovery rebuilds sessions from,
+so loading one must never trust the filesystem: every stored snapshot
+carries a header with its body's byte length and CRC32, and is filed
+under the SHA-256 of its *content payload* (register and memory state
+only — label, cycle, and acquisition accounting are excluded, so
+identical states dedupe to one object no matter when they were taken).
+
+    zoomie-snapstore-v1 00018f2 3e1a99c0     <- length + CRC32 header
+    { ...full zoomie-snapshot-v1 JSON... }   <- body
+
+On :meth:`get`, three independent checks run before a snapshot is
+believed: byte count against the header (truncation), CRC32 against the
+header (bit-rot), and content hash against the key (a body swapped or
+mis-filed wholesale). Each failure is a typed
+:class:`SnapshotIntegrityError`, never a silently wrong restore.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from ..errors import SnapshotFormatError, SnapshotIntegrityError
+from .journal import payload_crc
+from .state import StateSnapshot
+
+#: Header magic of every stored snapshot file.
+STORE_MAGIC = "zoomie-snapstore-v1"
+#: Filename suffix of stored snapshots.
+SUFFIX = ".snap"
+
+
+class SnapshotStore:
+    """A directory of integrity-verified snapshots, keyed by content."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}{SUFFIX}"
+
+    # ------------------------------------------------------------------
+
+    def put(self, snapshot: StateSnapshot) -> str:
+        """Persist a snapshot; returns its content key.
+
+        Idempotent: re-storing identical state is a no-op returning the
+        same key. The write goes through a temp file + rename so a crash
+        mid-store leaves either the old object or none — never a torn
+        one filed under a valid key.
+        """
+        key = snapshot.content_key()
+        path = self._path(key)
+        if path.exists():
+            return key
+        body = snapshot.dumps()
+        data = body.encode("utf-8")
+        header = f"{STORE_MAGIC} {len(data):08x} {payload_crc(body):08x}\n"
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(header + body)
+        tmp.rename(path)
+        return key
+
+    def get(self, key: str) -> StateSnapshot:
+        """Load and verify one snapshot."""
+        path = self._path(key)
+        if not path.exists():
+            raise SnapshotIntegrityError(
+                f"snapshot {key[:12]}… is not in the store",
+                kind="missing")
+        text = path.read_text()
+        newline = text.find("\n")
+        header = text[:newline] if newline >= 0 else text
+        parts = header.split(" ")
+        if len(parts) != 3 or parts[0] != STORE_MAGIC:
+            raise SnapshotIntegrityError(
+                f"snapshot {key[:12]}…: bad store header", kind="truncated")
+        try:
+            length = int(parts[1], 16)
+            crc = int(parts[2], 16)
+        except ValueError:
+            raise SnapshotIntegrityError(
+                f"snapshot {key[:12]}…: unparsable store header",
+                kind="truncated") from None
+        body = text[newline + 1:]
+        got = len(body.encode("utf-8"))
+        if got < length:
+            raise SnapshotIntegrityError(
+                f"snapshot {key[:12]}… truncated: {got} of {length} "
+                f"bytes on disk", kind="truncated")
+        if got > length:
+            raise SnapshotIntegrityError(
+                f"snapshot {key[:12]}…: {got} bytes where the header "
+                f"promises {length}", kind="truncated")
+        if payload_crc(body) != crc:
+            raise SnapshotIntegrityError(
+                f"snapshot {key[:12]}… failed CRC32 (bit-rot or "
+                f"tampering)", kind="checksum")
+        import io
+        try:
+            snapshot = StateSnapshot.parse(io.StringIO(body))
+        except SnapshotFormatError as exc:
+            raise SnapshotIntegrityError(
+                f"snapshot {key[:12]}…: body unparsable after passing "
+                f"CRC ({exc})", kind="checksum") from exc
+        actual = snapshot.content_key()
+        if actual != key:
+            raise SnapshotIntegrityError(
+                f"snapshot filed under {key[:12]}… hashes to "
+                f"{actual[:12]}… (mis-filed or swapped object)",
+                kind="key")
+        return snapshot
+
+    # ------------------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def keys(self) -> list[str]:
+        return sorted(p.name[:-len(SUFFIX)]
+                      for p in self.root.glob(f"*{SUFFIX}"))
+
+    def verify(self, key: str) -> Optional[SnapshotIntegrityError]:
+        """The integrity error loading ``key`` would raise, or None."""
+        try:
+            self.get(key)
+        except SnapshotIntegrityError as exc:
+            return exc
+        return None
+
+    def verify_all(self) -> dict[str, Optional[SnapshotIntegrityError]]:
+        """Audit the whole store; maps every key to its defect or None."""
+        return {key: self.verify(key) for key in self.keys()}
+
+    def delete(self, key: str) -> bool:
+        path = self._path(key)
+        if path.exists():
+            path.unlink()
+            return True
+        return False

@@ -166,6 +166,100 @@ class BreakpointError(DebugError):
     """Invalid breakpoint specification."""
 
 
+class SnapshotFormatError(DebugError):
+    """A persisted snapshot could not be parsed.
+
+    Raised (instead of bare ``ValueError``/``KeyError``/``IndexError``)
+    for truncated dumps, malformed JSON, wrong formats, bad hex values,
+    and duplicate signal names. ``line`` carries the 1-based line of the
+    first problem when the decoder can localize it, else ``0``.
+    """
+
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(message)
+        self.line = line
+
+
+class SnapshotIntegrityError(DebugError):
+    """A stored snapshot failed integrity verification on load.
+
+    Truncation (byte count below the header's), bit-rot (CRC32
+    mismatch), or a content hash that no longer matches the key it is
+    filed under. ``kind`` is ``"truncated"``, ``"checksum"``, ``"key"``,
+    or ``"missing"``.
+    """
+
+    def __init__(self, message: str, kind: str = "checksum"):
+        super().__init__(message)
+        self.kind = kind
+
+
+class JournalError(DebugError):
+    """Base class for write-ahead journal errors."""
+
+
+class JournalCorruptError(JournalError):
+    """A journal record failed its CRC32/framing check.
+
+    A *torn tail* (the final record cut mid-write by a crash) is normal
+    and silently dropped; this error means an interior record — one
+    followed by later durable records — is damaged, so replaying past it
+    would silently diverge. ``line`` is the 1-based journal line.
+    """
+
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(message)
+        self.line = line
+
+
+class RecoveryError(DebugError):
+    """Session recovery could not complete."""
+
+
+class RecoveryDivergenceError(RecoveryError):
+    """Deterministic replay reproduced different state than the journal
+    recorded.
+
+    Raised when re-executing the journal reaches a ``snapshot`` record
+    whose re-taken content hash differs from the journaled one —
+    the replay-and-compare oracle for debugger-state correctness.
+    ``changed`` maps register names to ``(journaled, replayed)`` values
+    when the journaled snapshot could be loaded for a full diff.
+    """
+
+    def __init__(self, message: str, record_index: int = -1,
+                 changed=None):
+        super().__init__(message)
+        self.record_index = record_index
+        self.changed = changed or {}
+
+
+class SessionCrashedError(DebugError):
+    """The (modeled) host process died mid-session.
+
+    Injected by a :class:`~repro.config.transport.CrashPlan` at a chosen
+    journaled-command or transport-batch boundary; every subsequent
+    operation on the dead session raises this too.
+    """
+
+
+class DebugTimeoutError(DebugError):
+    """A debug operation exceeded its modeled-seconds deadline.
+
+    The watchdog aborted the operation, drove the session into a
+    safe-paused state through the still-reachable primary controller's
+    global clock gates, and surfaced this instead of retrying forever.
+    """
+
+    def __init__(self, message: str, operation: str = "",
+                 deadline_seconds: float = 0.0,
+                 spent_seconds: float = 0.0):
+        super().__init__(message)
+        self.operation = operation
+        self.deadline_seconds = deadline_seconds
+        self.spent_seconds = spent_seconds
+
+
 class FormalError(ReproError):
     """A bounded model check found a counterexample or was misconfigured."""
 

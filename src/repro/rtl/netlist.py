@@ -118,6 +118,21 @@ class Netlist:
                     f"e{port.enable!r} c{port.clock};")
         return h.hexdigest()
 
+    def sync_read_outputs(self) -> dict[str, int]:
+        """Synchronous memory read-port outputs: name -> width.
+
+        A ``sync=True`` read port registers its data — a BRAM/LUTRAM
+        output latch. That latch is architectural state exactly like a
+        flip-flop: it holds live data across a pause, so capture,
+        restore, and deterministic replay must all cover it.
+        """
+        out: dict[str, int] = {}
+        for memory in self.memories.values():
+            for port in memory.read_ports:
+                if port.sync:
+                    out[port.name] = memory.width
+        return out
+
     def state_elements(self) -> list[tuple[str, int]]:
         """(name, width) of every register plus (name, bits) per memory.
 

@@ -256,12 +256,22 @@ class Simulator:
         return self.env[name]
 
     def force(self, name: str, value: int) -> None:
-        """Overwrite a register's current value (state manipulation)."""
-        if name not in self.netlist.registers:
-            raise SimulationError(
-                f"{name!r} is not a register; poke() inputs, "
-                f"write_memory() memories")
-        self.env[name] = truncate(value, self.netlist.registers[name].width)
+        """Overwrite a register's current value (state manipulation).
+
+        Synchronous memory read-port outputs (BRAM output latches) are
+        forceable too: restore must be able to reload them, since they
+        hold architectural state just like flip-flops.
+        """
+        register = self.netlist.registers.get(name)
+        if register is not None:
+            width = register.width
+        else:
+            width = self.netlist.sync_read_outputs().get(name)
+            if width is None:
+                raise SimulationError(
+                    f"{name!r} is not a register; poke() inputs, "
+                    f"write_memory() memories")
+        self.env[name] = truncate(value, width)
         self._dirty = True
 
     def read_memory(self, name: str, addr: int) -> int:

@@ -373,18 +373,31 @@ def place(synth: SynthesisResult, device: Device,
         cursors: dict[str, _BelCursor] = {}
         spaces = {index: FrameSpace(device.slr(index))
                   for index in range(device.slr_count)}
-        for name, reg in sorted(flat.registers.items()):
-            owner = flat.owner.get(name, "")
+        def _locate(name: str, width: int, owner: str) -> None:
             key, region = _region_for(owner, constraints, fallback)
             cursor = cursors.get(key)
             if cursor is None:
                 cursor = cursors[key] = _BelCursor(device, region)
-            for bit in range(reg.width):
+            for bit in range(width):
                 column, row, slot = cursor.next_slot()
                 frame, offset = spaces[region.slr].ff_location(
                     column, row, slot)
                 ll.add(LLEntry(name=name, bit=bit, slr=region.slr,
                                frame=frame, offset=offset))
+
+        for name, reg in sorted(flat.registers.items()):
+            _locate(name, reg.width, flat.owner.get(name, ""))
+        # BRAM/LUTRAM output latches (sync read-port data registers) are
+        # capture/restore state like any flop, and real .ll files list
+        # them; give each one a capture-frame location beside its memory
+        # so readback and GRESTORE cover them transparently.
+        for mem_name, memory in sorted(flat.memories.items()):
+            for port in memory.read_ports:
+                if not port.sync:
+                    continue
+                owner = flat.owner.get(
+                    port.name, flat.owner.get(mem_name, ""))
+                _locate(port.name, memory.width, owner)
 
     # ---- wirelength model -------------------------------------------------
     cells = totals.total_cells()

@@ -3,18 +3,25 @@
 import pytest
 
 from repro import Zoomie, ZoomieProject
+from repro.config import CrashPlan
+from repro.debug import enable_crash_safety
 from repro.debug.cli import ZoomieCli
 from repro.designs import make_cohort_soc
+from repro.errors import SessionCrashedError
 
 
-@pytest.fixture()
-def cli():
+def make_cli():
     project = ZoomieProject(
         design=make_cohort_soc(with_bug=False), device="TEST2",
         clocks={"clk": 100.0}, watch=["issued", "completed"])
     session = Zoomie(project).launch()
     session.poke_input("en", 1)
     return ZoomieCli(session.debugger)
+
+
+@pytest.fixture()
+def cli():
+    return make_cli()
 
 
 class TestBasicCommands:
@@ -91,6 +98,67 @@ class TestSnapshotCommands:
 
     def test_restore_unknown_label(self, cli):
         assert "error" in cli.execute("restore nope")
+
+
+class TestJournalCommands:
+    def test_journal_without_crash_safety(self, cli):
+        out = cli.execute("journal")
+        assert out.startswith("error:")
+        assert "enable_crash_safety" in out
+
+    def test_journal_lists_recent_records(self, cli, tmp_path):
+        enable_crash_safety(cli.debugger, tmp_path)
+        cli.debugger.record_input("en", 1)
+        cli.execute("run 10")
+        cli.execute("pause")
+        out = cli.execute("journal")
+        assert "#0 poke_input" in out
+        assert "#2 pause" in out
+        assert "(3 record(s), 3 durable)" in out
+
+    def test_journal_tail_count(self, cli, tmp_path):
+        enable_crash_safety(cli.debugger, tmp_path)
+        cli.execute("run 5")
+        cli.execute("pause")
+        cli.execute("step 2")
+        out = cli.execute("journal 1")
+        assert "#2 step" in out
+        assert "#0" not in out
+
+    def test_journal_usage_errors(self, cli, tmp_path):
+        enable_crash_safety(cli.debugger, tmp_path)
+        assert "error" in cli.execute("journal 0")
+        assert "error" in cli.execute("journal 1 2")
+        assert cli.execute("journal") == "journal is empty"
+
+
+class TestRecoverCommand:
+    def test_recover_usage_error(self, cli):
+        assert "usage: recover DIR" in cli.execute("recover")
+
+    def test_recover_missing_journal(self, cli, tmp_path):
+        out = cli.execute(f"recover {tmp_path}")
+        assert out.startswith("error:")
+        assert "no journal" in out
+
+    def test_recover_rebuilds_crashed_session(self, tmp_path):
+        crashed = make_cli()
+        enable_crash_safety(crashed.debugger, tmp_path)
+        crashed.debugger.record_input("en", 1)
+        crashed.debugger.run(12)
+        crashed.debugger.pause()
+        crashed.debugger.snapshot("mid")
+        crashed.debugger.fabric.enable_crash_plan(CrashPlan(at_command=4))
+        with pytest.raises(SessionCrashedError):
+            crashed.debugger.step(3)
+
+        fresh = make_cli()
+        out = fresh.execute(f"recover {tmp_path}")
+        assert "recovered from" in out
+        assert "replayed:" in out
+        # The journal is reattached: the session keeps journaling.
+        follow_up = fresh.execute("journal")
+        assert "#4 step" in follow_up
 
 
 class TestRepl:

@@ -1,13 +1,25 @@
 """Tests for snapshot parsing, persistence, and long-run replay."""
 
 import io
+import json
 
 import pytest
 
 from repro import Zoomie, ZoomieProject
-from repro.debug import StateSnapshot, diff_snapshots, parse_capture_frames
-from repro.designs import make_cohort_soc
-from repro.errors import DebugError
+from repro.config import FabricDevice
+from repro.debug import (
+    StateSnapshot,
+    ZoomieDebugger,
+    diff_snapshots,
+    instrument_netlist,
+    parse_capture_frames,
+)
+from repro.designs import make_cluster, make_cohort_soc
+from repro.errors import DebugError, SnapshotFormatError
+from repro.fpga import make_test_device
+from repro.rtl import elaborate
+from repro.vendor import VivadoFlow
+from repro.vendor.place import whole_slr
 
 
 class TestSnapshotObject:
@@ -46,6 +58,75 @@ class TestSnapshotObject:
     def test_parse_rejects_foreign_json(self):
         with pytest.raises(DebugError):
             StateSnapshot.parse(io.StringIO('{"format": "other"}'))
+
+
+class TestParseHardening:
+    def dumped(self, **kw):
+        return StateSnapshot(values={"core.pc": 0x10, "flag": 1},
+                             memories={"rf": [3, 4]}, cycle=9,
+                             label="x", **kw).dumps()
+
+    def test_truncated_dump_names_the_line(self):
+        text = self.dumped()
+        with pytest.raises(SnapshotFormatError) as info:
+            StateSnapshot.parse(io.StringIO(text[:len(text) // 2]))
+        assert info.value.line is not None
+        assert "truncated" in str(info.value)
+
+    def test_duplicate_signal_names_rejected(self):
+        text = ('{"format": "zoomie-snapshot-v1", '
+                '"values": {"a": "0x1", "a": "0x2"}}')
+        with pytest.raises(SnapshotFormatError, match="duplicate"):
+            StateSnapshot.parse(io.StringIO(text))
+
+    def test_bad_hex_value_names_signal(self):
+        data = json.loads(self.dumped())
+        data["values"]["core.pc"] = "0xZZ"
+        with pytest.raises(SnapshotFormatError, match="core.pc"):
+            StateSnapshot.parse(io.StringIO(json.dumps(data)))
+
+    def test_bad_memory_word_names_index(self):
+        data = json.loads(self.dumped())
+        data["memories"]["rf"][1] = 4  # int, not a hex string
+        with pytest.raises(SnapshotFormatError, match=r"rf\[1\]"):
+            StateSnapshot.parse(io.StringIO(json.dumps(data)))
+
+    def test_missing_values_section(self):
+        with pytest.raises(SnapshotFormatError, match="values"):
+            StateSnapshot.parse(
+                io.StringIO('{"format": "zoomie-snapshot-v1"}'))
+
+    def test_non_object_sections_rejected(self):
+        with pytest.raises(SnapshotFormatError):
+            StateSnapshot.parse(io.StringIO('[1, 2, 3]'))
+        with pytest.raises(SnapshotFormatError, match="cycle"):
+            StateSnapshot.parse(io.StringIO(
+                '{"format": "zoomie-snapshot-v1", "values": {}, '
+                '"cycle": "ten"}'))
+
+    def test_format_error_is_a_debug_error(self):
+        # Callers catching the broad DebugError keep working.
+        assert issubclass(SnapshotFormatError, DebugError)
+
+
+class TestLabelValidation:
+    @pytest.fixture()
+    def debugger(self):
+        project = ZoomieProject(
+            design=make_cohort_soc(with_bug=False), device="TEST2",
+            clocks={"clk": 100.0}, watch=["issued"])
+        session = Zoomie(project).launch()
+        session.debugger.pause()
+        return session.debugger
+
+    @pytest.mark.parametrize("label", ["two\nlines", "a=b", "bell\x07"])
+    def test_bad_labels_rejected_before_capture(self, debugger, label):
+        with pytest.raises(DebugError):
+            debugger.snapshot(label)
+
+    def test_good_label_accepted(self, debugger):
+        assert debugger.snapshot("checkpoint 1 (pre-fix)").label \
+            == "checkpoint 1 (pre-fix)"
 
 
 class TestParseCaptureFrames:
@@ -105,3 +186,53 @@ class TestFileReplay:
             if not name.startswith("zoomie_")
         }
         assert not changed
+
+
+class TestMultiSlrRestore:
+    """Regression: a restore must round-trip *every* state element of a
+    design split across SLRs — including BRAM output latches (sync
+    read-port data registers), which once escaped the logic-location
+    file and silently diverged on the first post-restore cycle."""
+
+    def launch(self):
+        device = make_test_device()
+        netlist = elaborate(make_cluster(cores=2, imem_depth=64))
+        inst = instrument_netlist(netlist, watch=["retired_count"])
+        flow = VivadoFlow(device)
+        result = flow.compile_netlist(
+            netlist, {d: 100.0 for d in netlist.clock_domains()},
+            gate_signals=inst.gate_signals,
+            constraints={"core1": whole_slr(device, 1)})
+        fabric = FabricDevice(device)
+        fabric.expect(result.database)
+        fabric.jtag.run(result.bitstream)
+        debugger = ZoomieDebugger(fabric, inst)
+        debugger.record_input("en", 1)
+        return result, fabric, debugger
+
+    def test_restore_round_trips_across_slrs(self):
+        result, fabric, debugger = self.launch()
+        debugger.run(38)
+        debugger.pause()
+        saved = debugger.snapshot("mid-flight")
+
+        # The snapshot must see the memory output latches.
+        latches = result.database.netlist.sync_read_outputs()
+        assert latches, "cluster design should have sync read ports"
+        for name in latches:
+            assert name in saved.values, f"latch {name} not captured"
+
+        debugger.step(7)
+        expected = debugger.engine.snapshot()
+
+        debugger.restore(saved)
+        after_restore = debugger.engine.snapshot()
+        assert diff_snapshots(saved, after_restore) == {}
+        assert saved.memories == after_restore.memories
+
+        # The replay from the restored state must track the original.
+        debugger.step(7)
+        replayed = debugger.engine.snapshot()
+        assert diff_snapshots(expected, replayed) == {}
+        assert expected.memories == replayed.memories
+        assert expected.content_key() == replayed.content_key()
