@@ -11,7 +11,7 @@ recovery into O(cadence).
 
 import time
 
-from conftest import emit, emit_table
+from conftest import emit, emit_table, record_bench
 
 
 def compile_cohort():
@@ -61,6 +61,7 @@ def test_recovery_cost_vs_journal_and_cadence(benchmark, tmp_path):
             for cadence in (None, 10, 25)]
 
     rows = []
+    points = []
     benchmarked = False
     for blocks, cadence in grid:
         workdir = tmp_path / f"b{blocks}-c{cadence}"
@@ -92,7 +93,16 @@ def test_recovery_cost_vs_journal_and_cadence(benchmark, tmp_path):
             f"{report.modeled_seconds:.3f}s",
             f"{wall:.3f}s",
         ])
+        points.append({
+            "journal_records": report.records_total,
+            "cadence": cadence,
+            "base_index": report.base_index,
+            "commands_replayed": report.commands_replayed,
+            "modeled_seconds": report.modeled_seconds,
+            "wall_seconds": wall,
+        })
 
+    record_bench("recovery", {"design": "cohort-soc", "grid": points})
     emit_table(
         "Recovery cost vs journal length and checkpoint cadence "
         "(cohort SoC, killed after the full command stream)",

@@ -9,13 +9,9 @@ checked against the previous run (a throughput regression guard).
 Case study 3's replay-cost argument uses the same measurement live.
 """
 
-import json
-import pathlib
 import time
 
-from conftest import emit, emit_table
-
-BENCH_JSON = pathlib.Path(__file__).parent / "BENCH_simulator.json"
+from conftest import emit, emit_table, record_bench
 
 #: The fused engine must beat the per-expression closures baseline by at
 #: least this factor on the Cohort SoC (the tentpole acceptance bar).
@@ -47,9 +43,8 @@ def _rate(sim, cycles: int) -> float:
 def _record(rates: dict[str, float]) -> None:
     """Append this run to BENCH_simulator.json and soft-check the
     previous run for regressions."""
-    history = []
-    if BENCH_JSON.exists():
-        history = json.loads(BENCH_JSON.read_text())
+    history = record_bench("simulator",
+                           {"design": "cohort-soc", "rates": rates})
     if history:
         previous = history[-1]["rates"]
         for engine, rate in rates.items():
@@ -58,8 +53,6 @@ def _record(rates: dict[str, float]) -> None:
                 emit(f"WARNING: {engine} throughput regressed: "
                      f"{rate:,.0f} cycles/s vs previous "
                      f"{previous[engine]:,.0f} cycles/s")
-    history.append({"design": "cohort-soc", "rates": rates})
-    BENCH_JSON.write_text(json.dumps(history[-20:], indent=2) + "\n")
 
 
 def test_engine_throughput_ladder(benchmark):

@@ -7,7 +7,7 @@ robustness costs: modeled readback seconds and retry counts across a
 ladder of fault rates, against the clean channel as the 1.0x baseline.
 """
 
-from conftest import emit, emit_table
+from conftest import emit, emit_table, record_bench
 
 
 def launch():
@@ -45,6 +45,7 @@ def test_transport_fault_overhead_ladder(benchmark):
 
     rates = [0.0, 0.05, 0.15, 0.30, 0.50]
     rows = []
+    points = []
     clean_seconds = None
     for rate in rates:
         if rate:
@@ -71,7 +72,20 @@ def test_transport_fault_overhead_ladder(benchmark):
             f"{seconds:.3f}s",
             f"{seconds / clean_seconds:.2f}x",
         ])
+        points.append({
+            "flip_rate": rate,
+            "batches": int(after["batches"] - before["batches"]),
+            "retries": int(after["retries"] - before["retries"]),
+            "corrupt_detected": int(after["corrupt_detected"]
+                                    - before["corrupt_detected"]),
+            "retry_seconds": after["seconds_in_retry"]
+            - before["seconds_in_retry"],
+            "readback_seconds": seconds,
+            "vs_clean": seconds / clean_seconds,
+        })
 
+    record_bench("transport_faults",
+                 {"design": "cluster-2core", "ladder": points})
     emit_table(
         "Verified transport: retry overhead vs channel fault rate "
         "(full state readback, seeded FaultPlan)",

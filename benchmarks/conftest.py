@@ -3,12 +3,16 @@
 Every benchmark regenerates one table or figure of the paper and prints
 a paper-vs-measured comparison. Output goes through :func:`emit`, which
 bypasses pytest's capture so the tables are visible in a plain
-``pytest benchmarks/ --benchmark-only`` run, and is also appended to
-``benchmarks/_results.txt`` for EXPERIMENTS.md.
+``pytest benchmarks/ --benchmark-only`` run. Machine-readable results
+go through :func:`record_bench`, which appends one run entry to
+``benchmarks/BENCH_<name>.json`` (bounded history, newest last — the
+schema ``BENCH_simulator.json`` established), replacing the old
+append-only ``_results.txt`` side-channel.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 import sys
 
@@ -20,15 +24,34 @@ _ROOT = str(pathlib.Path(__file__).parent.parent)
 if _ROOT not in sys.path:
     sys.path.insert(0, _ROOT)
 
-RESULTS_PATH = pathlib.Path(__file__).parent / "_results.txt"
+#: Run entries retained per BENCH_<name>.json file (newest last).
+BENCH_HISTORY = 20
 
 
 def emit(text: str) -> None:
     """Print benchmark findings, bypassing pytest capture."""
     sys.__stdout__.write(text + "\n")
     sys.__stdout__.flush()
-    with RESULTS_PATH.open("a") as stream:
-        stream.write(text + "\n")
+
+
+def bench_json_path(name: str) -> pathlib.Path:
+    return pathlib.Path(__file__).parent / f"BENCH_{name}.json"
+
+
+def record_bench(name: str, entry: dict) -> list[dict]:
+    """Append one run entry to ``benchmarks/BENCH_<name>.json``.
+
+    The file holds a JSON array of the last :data:`BENCH_HISTORY` run
+    entries, newest last. Returns the history *before* this run so
+    callers can implement regression guards against the previous entry.
+    """
+    path = bench_json_path(name)
+    history: list[dict] = []
+    if path.exists():
+        history = json.loads(path.read_text())
+    updated = (history + [entry])[-BENCH_HISTORY:]
+    path.write_text(json.dumps(updated, indent=2) + "\n")
+    return history
 
 
 def emit_table(title: str, headers: list[str],
@@ -44,12 +67,6 @@ def emit_table(title: str, headers: list[str],
         lines.append("  ".join(cell.ljust(widths[i])
                                for i, cell in enumerate(row)))
     emit("\n".join(lines))
-
-
-@pytest.fixture(scope="session", autouse=True)
-def _fresh_results_file():
-    RESULTS_PATH.unlink(missing_ok=True)
-    yield
 
 
 @pytest.fixture(scope="session")

@@ -11,6 +11,8 @@ Public entry points:
   monitor FSMs, and software checking;
 - :mod:`repro.vti` — partition-based incremental compilation;
 - :mod:`repro.debug` — the Debug Controller, readback, and debugger;
+- :mod:`repro.obs` — span tracing (wall + modeled clocks), the metrics
+  registry, and structured logging over all of the above;
 - :mod:`repro.designs` — the paper's evaluation designs.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
@@ -18,7 +20,15 @@ paper-vs-measured results.
 """
 
 from .core import Zoomie, ZoomieProject, ZoomieSession
+from .obs import Observability, get_observability
 
 __version__ = "1.0.0"
 
-__all__ = ["Zoomie", "ZoomieProject", "ZoomieSession", "__version__"]
+__all__ = [
+    "Observability",
+    "Zoomie",
+    "ZoomieProject",
+    "ZoomieSession",
+    "__version__",
+    "get_observability",
+]

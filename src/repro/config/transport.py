@@ -41,6 +41,12 @@ from ..errors import (
     SessionCrashedError,
     TransportError,
 )
+from ..obs import get_logger, get_registry, get_tracer
+
+#: Bound at import: the obs singletons are mutated in place, never
+#: replaced, so module-level references stay valid.
+_TRACER = get_tracer()
+_LOG = get_logger()
 
 if TYPE_CHECKING:  # pragma: no cover
     from .jtag import JtagResult, JtagRing
@@ -248,6 +254,18 @@ class VerifiedTransport:
         self.plan = plan
         self.policy = policy or RetryPolicy()
         self.stats = TransportStats()
+        # Process-wide mirror of the per-ring counters: every ring sums
+        # into the same registry names, so `zoomie stats` and the
+        # metrics JSON see global totals while self.stats stays
+        # per-ring. Instruments are cached here; run() publishes
+        # per-batch deltas.
+        registry = get_registry()
+        self._counters = {
+            key: registry.counter(f"transport.{key}")
+            for key in self.stats.as_dict()
+        }
+        self._batch_seconds = registry.histogram(
+            "transport.batch_seconds")
         #: Injected host-death schedule (see :class:`CrashPlan`).
         self.crash_plan: Optional[CrashPlan] = None
         #: Modeled-seconds budget of the *current guarded operation*
@@ -279,7 +297,68 @@ class VerifiedTransport:
             and self.deadline_remaining <= 0
 
     def run(self, words: list[int]) -> "JtagResult":
-        """Execute one program as a verified transaction."""
+        """Execute one program as a verified transaction.
+
+        Every batch publishes its counter deltas into the metrics
+        registry; with tracing enabled it additionally becomes a
+        ``jtag.batch`` span carrying attempt/retry/CRC attributes plus
+        both clocks (wall time measured, channel seconds modeled).
+        """
+        before = self.stats.as_dict()
+        if not _TRACER.enabled:
+            try:
+                result = self._run_verified(words)
+            except TransportError:
+                self._publish(before, None, None)
+                raise
+            self._publish(before, None, result)
+            return result
+        with _TRACER.span("jtag.batch", words=len(words)) as span:
+            try:
+                result = self._run_verified(words)
+            except TransportError as error:
+                self._publish(before, span, None)
+                span.set(outcome=error.kind)
+                raise
+            self._publish(before, span, result)
+            return result
+
+    def _publish(self, before: dict, span, result) -> None:
+        """Metrics + span attributes for one completed batch."""
+        after = self.stats.as_dict()
+        counters = self._counters
+        for key, value in after.items():
+            delta = value - before[key]
+            if delta:
+                counters[key].inc(delta)
+        if result is not None:
+            self._batch_seconds.observe(result.seconds)
+        retries = int(after["retries"] - before["retries"])
+        if retries and _LOG.enabled:
+            _LOG.warn("transport.retries", retries=retries,
+                      corrupt=int(after["corrupt_detected"]
+                                  - before["corrupt_detected"]),
+                      verified=result is not None)
+        if span is not None:
+            span.set(
+                attempts=int(after["attempts"] - before["attempts"]),
+                retries=retries,
+                crc_faults=int(after["corrupt_detected"]
+                               - before["corrupt_detected"]),
+                command_faults=int(after["command_faults_detected"]
+                                   - before["command_faults_detected"]),
+                verified=result is not None)
+            # Modeled channel seconds: a successful result already
+            # carries its failed attempts' time; a failed batch only
+            # has its retry time.
+            if result is not None:
+                span.set(read_words=len(result.read_words))
+                span.add_modeled(result.seconds)
+            else:
+                span.add_modeled(after["seconds_in_retry"]
+                                 - before["seconds_in_retry"])
+
+    def _run_verified(self, words: list[int]) -> "JtagResult":
         if self.crash_plan is not None:
             self.crash_plan.observe_batch()
         self.stats.batches += 1

@@ -56,3 +56,14 @@ class ZoomieProject:
         fastest = max(out.values())
         out.setdefault("zoomie_clk", fastest)
         return out
+
+    @property
+    def observability(self):
+        """The process-wide tracer/metrics/logger bundle.
+
+        One handle per process, not per project: the instrumented
+        layers publish into shared singletons, so every project (and
+        the CLI's ``stats``/``trace`` commands) sees the same state.
+        """
+        from ..obs import get_observability
+        return get_observability()

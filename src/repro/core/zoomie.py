@@ -24,6 +24,7 @@ from ..config.fabric import FabricDevice
 from ..debug.controller import InstrumentedDesign, instrument_netlist
 from ..debug.debugger import ZoomieDebugger
 from ..errors import FlowError
+from ..obs import Observability, get_observability
 from ..rtl.flatten import elaborate
 from ..rtl.module import Module
 from ..vendor.flow import CompileResult, VivadoFlow
@@ -54,6 +55,11 @@ class ZoomieSession:
         """Advance the fabric (breakpoints may pause earlier)."""
         self.debugger.run(max_cycles=cycles)
 
+    @property
+    def observability(self) -> Observability:
+        """The process-wide tracer/metrics/logger bundle."""
+        return get_observability()
+
 
 @dataclass
 class Zoomie:
@@ -62,6 +68,11 @@ class Zoomie:
     project: ZoomieProject
     _vti: Optional[VtiFlow] = field(default=None, repr=False)
     _initial: Optional[VtiCompileResult] = field(default=None, repr=False)
+
+    @property
+    def observability(self) -> Observability:
+        """The process-wide tracer/metrics/logger bundle."""
+        return get_observability()
 
     # ------------------------------------------------------------------
     # compilation

@@ -21,10 +21,12 @@ interactive ``input()`` loop.
 
 from __future__ import annotations
 
+import json
 import shlex
 from typing import Callable
 
 from ..errors import ReproError
+from ..obs import get_observability
 from .debugger import ZoomieDebugger
 from .state import StateSnapshot, diff_snapshots
 
@@ -53,6 +55,11 @@ Commands:
   recover DIR                       rebuild this session from the crash-
                                     safety directory DIR (journal +
                                     snapshot store)
+  stats [--json]                    this ring's transport counters plus
+                                    the process metrics registry
+  trace start|stop|status           control span tracing (off by default)
+  trace export FILE                 write Chrome-trace JSON for Perfetto
+  trace tree                        recorded spans, indented, both clocks
   help                              this text
   quit                              leave the repl"""
 
@@ -92,6 +99,8 @@ class ZoomieCli:
             "clear": self._cmd_clear,
             "journal": self._cmd_journal,
             "recover": self._cmd_recover,
+            "stats": self._cmd_stats,
+            "trace": self._cmd_trace,
             "help": lambda args: _HELP,
         }
 
@@ -297,3 +306,47 @@ class ZoomieCli:
         from .recovery import recover_session
         report = recover_session(self.debugger, args[0])
         return report.describe()
+
+    def _cmd_stats(self, args: list[str]) -> str:
+        if args not in ([], ["--json"]):
+            raise ValueError("usage: stats [--json]")
+        obs = get_observability()
+        transport = self.debugger.fabric.transport.stats.as_dict()
+        if args:
+            return json.dumps(
+                {"transport": transport, "metrics": obs.stats()},
+                indent=1, sort_keys=True)
+        lines = ["transport (this session's JTAG ring):"]
+        lines += [f"  {key} = {value:g}"
+                  for key, value in sorted(transport.items())]
+        lines.append("process metrics:")
+        lines += ["  " + line
+                  for line in obs.metrics.summary().split("\n")]
+        return "\n".join(lines)
+
+    def _cmd_trace(self, args: list[str]) -> str:
+        obs = get_observability()
+        tracer = obs.tracer
+        verb = args[0] if args else "status"
+        if verb == "start" and len(args) == 1:
+            obs.start_tracing()
+            return "tracing on"
+        if verb == "stop" and len(args) == 1:
+            obs.stop_tracing()
+            return (f"tracing off "
+                    f"({len(tracer.spans)} span(s) retained)")
+        if verb == "status" and len(args) == 1:
+            state = "on" if tracer.enabled else "off"
+            return (f"tracing {state}: {len(tracer.spans)} span(s) "
+                    f"recorded, {tracer.dropped} eviction(s), "
+                    f"capacity {tracer.capacity}")
+        if verb == "export":
+            if len(args) != 2:
+                raise ValueError("usage: trace export FILE")
+            obs.export_trace(args[1])
+            return (f"wrote {len(tracer.spans)} span(s) to {args[1]} "
+                    f"(load at https://ui.perfetto.dev)")
+        if verb == "tree" and len(args) == 1:
+            return obs.trace_tree()
+        raise ValueError(
+            "usage: trace start|stop|status|export FILE|tree")

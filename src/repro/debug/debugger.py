@@ -30,9 +30,14 @@ from ..errors import (
     TransportError,
 )
 from ..fpga.frames import FRAME_WORDS, FrameAddress
+from ..obs import get_logger, get_registry, get_tracer
 from .controller import InstrumentedDesign
 from .readback_engine import ReadbackEngine
 from .state import StateSnapshot, validate_label
+
+#: Bound at import; the singletons are mutated in place, never replaced.
+_TRACER = get_tracer()
+_LOG = get_logger()
 
 #: Safety bound multiplier for run-until-pause loops.
 RUN_SLACK = 64
@@ -72,6 +77,28 @@ class ZoomieDebugger:
         self._since_checkpoint = 0
         self._in_command = False
         self._replaying = False
+        self._m_commands = get_registry().counter("debug.commands")
+
+    @contextmanager
+    def _traced(self, verb: str, **attrs):
+        """Span one debugger command (``debug.<verb>``).
+
+        The span's modeled clock fills in from its children — every
+        transport batch and simulator run inside the command rolls its
+        modeled seconds up — so a session trace is a flame graph in
+        both time bases. Commands are tallied in the metrics registry
+        unconditionally; spans only when tracing is on.
+        """
+        self._m_commands.inc()
+        if not _TRACER.enabled:
+            yield None
+            return
+        with _TRACER.span(f"debug.{verb}", **attrs) as span:
+            yield span
+            span.set(cycle=self.cycles(),
+                     session_seconds=round(self.session_seconds, 6))
+            if _LOG.enabled:
+                _LOG.info(f"debug.{verb}", cycle=self.cycles(), **attrs)
 
     # ------------------------------------------------------------------
     # crash safety: write-ahead journaling of mutating commands
@@ -159,7 +186,8 @@ class ZoomieDebugger:
         snapshot cannot reconstruct them, so recovery replays every
         journaled poke from the beginning of the journal.
         """
-        with self._journaled("poke_input", name=name, value=value):
+        with self._traced("poke_input", name=name), \
+                self._journaled("poke_input", name=name, value=value):
             assert self.fabric.sim is not None
             self.fabric.sim.poke(name, value)
 
@@ -258,18 +286,22 @@ class ZoomieDebugger:
 
         Returns the number of fabric cycles advanced.
         """
-        with self._journaled("run", max_cycles=max_cycles):
+        with self._traced("run", max_cycles=max_cycles) as span, \
+                self._journaled("run", max_cycles=max_cycles):
             ran = 0
             while ran < max_cycles:
                 if self.is_paused():
                     break
                 self.fabric.run(1)
                 ran += 1
+            if span is not None:
+                span.set(ran=ran)
         return ran
 
     def pause(self) -> None:
         """Host-initiated pause (e.g. the design appears hung)."""
-        with self._journaled("pause"), self._op_guard("pause"):
+        with self._traced("pause"), self._journaled("pause"), \
+                self._op_guard("pause"):
             self._write_registers({self.inst.spec.host_pause_reg: 1})
 
     def resume(self, clear_triggers: bool = True) -> None:
@@ -287,7 +319,8 @@ class ZoomieDebugger:
         }
         if clear_triggers:
             updates.update(self._trigger_clear_updates())
-        with self._journaled("resume", clear_triggers=clear_triggers), \
+        with self._traced("resume", clear_triggers=clear_triggers), \
+                self._journaled("resume", clear_triggers=clear_triggers), \
                 self._op_guard("resume"):
             self._clear_safe_pause()
             self._write_registers(updates)
@@ -316,7 +349,8 @@ class ZoomieDebugger:
             self.inst.spec.host_pause_reg: 0,
         }
         updates.update(self._trigger_clear_updates())
-        with self._journaled("step", cycles=cycles, force=force), \
+        with self._traced("step", cycles=cycles), \
+                self._journaled("step", cycles=cycles, force=force), \
                 self._op_guard("step"):
             self._clear_safe_pause()
             self._write_registers(updates)
@@ -350,7 +384,8 @@ class ZoomieDebugger:
             # Suppress comparison until one executed edge re-baselines
             # the shadow register (self-clearing arm bit).
             updates[slot.watch_arm_reg] = 1
-        with self._journaled("set_watchpoint", signals=list(signals)), \
+        with self._traced("set_watchpoint", signals=list(signals)), \
+                self._journaled("set_watchpoint", signals=list(signals)), \
                 self._op_guard("set_watchpoint"):
             self._write_registers(updates)
 
@@ -375,14 +410,16 @@ class ZoomieDebugger:
         sel = (self.inst.spec.and_sel_reg if mode == "and"
                else self.inst.spec.or_sel_reg)
         updates[sel] = 1
-        with self._journaled("set_value_breakpoint",
+        with self._traced("set_value_breakpoint", mode=mode), \
+                self._journaled("set_value_breakpoint",
                              conditions=dict(conditions), mode=mode), \
                 self._op_guard("set_value_breakpoint"):
             self._write_registers(updates)
 
     def set_cycle_breakpoint(self, cycles: int) -> None:
         """Pause after ``cycles`` more cycles (without resuming now)."""
-        with self._journaled("set_cycle_breakpoint", cycles=cycles), \
+        with self._traced("set_cycle_breakpoint", cycles=cycles), \
+                self._journaled("set_cycle_breakpoint", cycles=cycles), \
                 self._op_guard("set_cycle_breakpoint"):
             self._write_registers({
                 self.inst.spec.step_count_reg: cycles,
@@ -391,7 +428,8 @@ class ZoomieDebugger:
 
     def break_on_assertions(self, enable: bool = True) -> None:
         """Turn SVA failure pauses on or off (Section 3.4)."""
-        with self._journaled("break_on_assertions",
+        with self._traced("break_on_assertions", enable=bool(enable)), \
+                self._journaled("break_on_assertions",
                              enable=bool(enable)), \
                 self._op_guard("break_on_assertions"):
             self._write_registers({
@@ -401,7 +439,8 @@ class ZoomieDebugger:
         updates = self._trigger_clear_updates()
         updates[self.inst.spec.step_armed_reg] = 0
         updates[self.inst.spec.assert_en_reg] = 0
-        with self._journaled("clear_breakpoints"), \
+        with self._traced("clear_breakpoints"), \
+                self._journaled("clear_breakpoints"), \
                 self._op_guard("clear_breakpoints"):
             self._write_registers(updates)
 
@@ -417,9 +456,15 @@ class ZoomieDebugger:
             crash.check_alive()
         if not allow_running:
             self._require_paused("state readback")
-        with self._op_guard("read_state"):
+        with self._traced("read_state", prefix=prefix) as span, \
+                self._op_guard("read_state"):
             snapshot = self.engine.snapshot(prefix=prefix)
-        self.session_seconds += snapshot.acquisition_seconds
+            self.session_seconds += snapshot.acquisition_seconds
+            # Modeled seconds arrive via the child jtag.batch spans
+            # (acquisition_seconds is exactly their sum) — charging
+            # them here too would double-count.
+            if span is not None:
+                span.set(registers=len(snapshot.values))
         return snapshot
 
     def read(self, name: str) -> int:
@@ -430,7 +475,8 @@ class ZoomieDebugger:
     def write_state(self, updates: dict[str, int]) -> None:
         """Force register values in the paused design (Section 3.3)."""
         self._require_paused("state writes")
-        with self._journaled("write_state", updates=dict(updates)), \
+        with self._traced("write_state", registers=len(updates)), \
+                self._journaled("write_state", updates=dict(updates)), \
                 self._op_guard("write_state"):
             self._write_registers(updates)
 
@@ -462,7 +508,8 @@ class ZoomieDebugger:
                 row.update(snapshot.values)
             return row
 
-        with self._op_guard("sample_over"):
+        with self._traced("sample_over", cycles=cycles, stride=stride), \
+                self._op_guard("sample_over"):
             rows = [sample()]
             taken = 0
             while taken < cycles:
@@ -479,8 +526,11 @@ class ZoomieDebugger:
         crash = self.fabric.transport.crash_plan
         if crash is not None and not self._in_command:
             crash.check_alive()
-        with self._op_guard("snapshot"):
+        with self._traced("snapshot", label=label) as span, \
+                self._op_guard("snapshot"):
             snap = self.engine.snapshot(label=label)
+            if span is not None:
+                span.set(registers=len(snap.values))
         self.session_seconds += snap.acquisition_seconds
         # Journaled *post hoc*: capture mutates nothing (GCAPTURE is a
         # read), and the record must carry the content key, which only
@@ -512,7 +562,8 @@ class ZoomieDebugger:
             raise DebugError(
                 f"memory {name!r} holds {mem.depth} words, got "
                 f"{len(words)}")
-        with self._journaled("write_memory", name=name,
+        with self._traced("write_memory", name=name, words=len(words)), \
+                self._journaled("write_memory", name=name,
                              words=list(words)), \
                 self._op_guard("write_memory"):
             space = self.fabric.spaces[placement.slr]
@@ -556,7 +607,8 @@ class ZoomieDebugger:
             name: value for name, value in snapshot.values.items()
             if name in locatable
         }
-        with self._journaled("restore", **args), \
+        with self._traced("restore", registers=len(writable)), \
+                self._journaled("restore", **args), \
                 self._op_guard("restore"):
             self._write_registers(writable)
             for name, words in snapshot.memories.items():

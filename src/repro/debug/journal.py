@@ -33,6 +33,10 @@ from typing import Iterable, Optional
 
 from ..bitstream.crc import crc32_stream
 from ..errors import JournalCorruptError, JournalError
+from ..obs import get_registry, get_tracer
+
+#: Bound at import; the singletons are mutated in place, never replaced.
+_TRACER = get_tracer()
 
 #: First line of every journal file.
 JOURNAL_MAGIC = "zoomie-journal-v1"
@@ -179,6 +183,10 @@ class CommandJournal:
         self.path = Path(path)
         self.sync_every = sync_every
         self._pending: list[str] = []
+        registry = get_registry()
+        self._m_appends = registry.counter("journal.appends")
+        self._m_syncs = registry.counter("journal.syncs")
+        self._m_synced = registry.counter("journal.synced_records")
         if self.path.exists():
             existing, torn = read_journal(self.path)
             if torn:
@@ -219,22 +227,36 @@ class CommandJournal:
             raise JournalError(
                 f"command {command!r} args are not journalable: {exc}"
             ) from None
-        self._pending.append(frame_record(record))
-        self._count += 1
-        if len(self._pending) >= self.sync_every:
-            self.sync()
+        self._m_appends.inc()
+        if not _TRACER.enabled:
+            self._pending.append(frame_record(record))
+            self._count += 1
+            if len(self._pending) >= self.sync_every:
+                self.sync()
+            return record
+        with _TRACER.span("journal.append", command=command,
+                          index=record.index) as span:
+            self._pending.append(frame_record(record))
+            self._count += 1
+            if len(self._pending) >= self.sync_every:
+                self.sync()
+            span.set(durable=record.index < self._durable)
         return record
 
     def sync(self) -> None:
         """Durability point: flush pending records to the file."""
         if not self._pending:
             return
-        with self.path.open("a") as stream:
-            stream.writelines(self._pending)
-            stream.flush()
-            os.fsync(stream.fileno())
-        self._durable = self._count
-        self._pending.clear()
+        flushed = len(self._pending)
+        with _TRACER.span("journal.sync", records=flushed):
+            with self.path.open("a") as stream:
+                stream.writelines(self._pending)
+                stream.flush()
+                os.fsync(stream.fileno())
+            self._durable = self._count
+            self._pending.clear()
+        self._m_syncs.inc()
+        self._m_synced.inc(flushed)
 
     def drop_pending(self) -> int:
         """Modeled crash: abandon un-synced records (returns how many).

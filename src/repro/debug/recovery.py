@@ -42,7 +42,12 @@ from ..errors import (
     RecoveryError,
     SnapshotIntegrityError,
 )
+from ..obs import get_logger, get_registry, get_tracer
 from .debugger import ZoomieDebugger
+
+#: Bound at import; the singletons are mutated in place, never replaced.
+_TRACER = get_tracer()
+_LOG = get_logger()
 from .journal import CommandJournal, JournalRecord, read_journal
 from .snapshot_store import SnapshotStore
 from .state import diff_snapshots
@@ -162,29 +167,51 @@ def recover_session(debugger: ZoomieDebugger, directory,
     report.base_key = base_key
 
     debugger._replaying = True
+    session_span = _TRACER.span(
+        "recover.session", records=len(records), torn_tail=torn,
+        full_replay=full_replay)
+    session_span.__enter__()
     try:
         applying = base_index is None
         for record in records:
-            if not applying:
-                # Pre-base: only the environment needs replaying; the
-                # base snapshot carries all readback-visible state.
+            # One ``recover.record`` span per journal record — the
+            # audit trail a recovered session's trace must show, even
+            # for records the checkpoint base lets replay skip.
+            with _TRACER.span("recover.record", index=record.index,
+                              command=record.command) as span:
+                if not applying:
+                    # Pre-base: only the environment needs replaying;
+                    # the base snapshot carries all readback-visible
+                    # state.
+                    if record.command == "poke_input":
+                        _apply(debugger, store, record)
+                        report.pokes_replayed += 1
+                    elif record.index == base_index:
+                        debugger.pause()
+                        debugger.restore(store.get(base_key))
+                        applying = True
+                        if span is not None:
+                            span.set(applied="base-restore")
+                        continue
+                    if span is not None:
+                        span.set(applied=record.command == "poke_input")
+                    continue
+                if record.command == "snapshot":
+                    _check_divergence(debugger, store, record)
+                    report.snapshots_checked += 1
+                    if span is not None:
+                        span.set(applied="divergence-check")
+                    continue
+                _apply(debugger, store, record)
+                if span is not None:
+                    span.set(applied=True)
                 if record.command == "poke_input":
-                    _apply(debugger, store, record)
                     report.pokes_replayed += 1
-                elif record.index == base_index:
-                    debugger.pause()
-                    debugger.restore(store.get(base_key))
-                    applying = True
-                continue
-            if record.command == "snapshot":
-                _check_divergence(debugger, store, record)
-                report.snapshots_checked += 1
-                continue
-            _apply(debugger, store, record)
-            if record.command == "poke_input":
-                report.pokes_replayed += 1
-            else:
-                report.commands_replayed += 1
+                else:
+                    report.commands_replayed += 1
+    except BaseException as error:
+        session_span.__exit__(type(error), error, None)
+        raise
     finally:
         debugger._replaying = False
 
@@ -194,6 +221,24 @@ def recover_session(debugger: ZoomieDebugger, directory,
         report.final_key = snap.content_key()
     report.modeled_seconds = debugger.session_seconds - seconds_before
     report.wall_seconds = time.monotonic() - start
+    # Modeled seconds roll up from the jtag.batch spans every replayed
+    # command (and divergence probe) issued — no direct charge needed.
+    session_span.set(
+        commands_replayed=report.commands_replayed,
+        pokes_replayed=report.pokes_replayed,
+        snapshots_checked=report.snapshots_checked)
+    session_span.__exit__(None, None, None)
+
+    registry = get_registry()
+    registry.counter("recovery.sessions").inc()
+    registry.counter("recovery.records_replayed").inc(
+        report.commands_replayed + report.pokes_replayed)
+    registry.histogram("recovery.modeled_seconds").observe(
+        report.modeled_seconds)
+    if _LOG.enabled:
+        _LOG.info("recovery.complete", base_index=report.base_index,
+                  commands_replayed=report.commands_replayed,
+                  modeled_seconds=report.modeled_seconds)
 
     if reattach:
         journal = CommandJournal(journal_path)

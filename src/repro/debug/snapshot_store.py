@@ -23,8 +23,12 @@ from pathlib import Path
 from typing import Optional
 
 from ..errors import SnapshotFormatError, SnapshotIntegrityError
+from ..obs import get_registry, get_tracer
 from .journal import payload_crc
 from .state import StateSnapshot
+
+#: Bound at import; the singletons are mutated in place, never replaced.
+_TRACER = get_tracer()
 
 #: Header magic of every stored snapshot file.
 STORE_MAGIC = "zoomie-snapstore-v1"
@@ -38,6 +42,12 @@ class SnapshotStore:
     def __init__(self, root):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        registry = get_registry()
+        self._m_puts = registry.counter("snapshot_store.puts")
+        self._m_dedup = registry.counter("snapshot_store.dedup_hits")
+        self._m_gets = registry.counter("snapshot_store.gets")
+        self._m_bad = registry.counter(
+            "snapshot_store.integrity_failures")
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}{SUFFIX}"
@@ -52,20 +62,37 @@ class SnapshotStore:
         mid-store leaves either the old object or none — never a torn
         one filed under a valid key.
         """
-        key = snapshot.content_key()
-        path = self._path(key)
-        if path.exists():
+        with _TRACER.span("snapstore.put") as span:
+            key = snapshot.content_key()
+            self._m_puts.inc()
+            path = self._path(key)
+            if path.exists():
+                self._m_dedup.inc()
+                if span is not None:
+                    span.set(key=key[:12], dedup=True)
+                return key
+            body = snapshot.dumps()
+            data = body.encode("utf-8")
+            header = (f"{STORE_MAGIC} {len(data):08x} "
+                      f"{payload_crc(body):08x}\n")
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(header + body)
+            tmp.rename(path)
+            if span is not None:
+                span.set(key=key[:12], dedup=False, bytes=len(data))
             return key
-        body = snapshot.dumps()
-        data = body.encode("utf-8")
-        header = f"{STORE_MAGIC} {len(data):08x} {payload_crc(body):08x}\n"
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(header + body)
-        tmp.rename(path)
-        return key
 
     def get(self, key: str) -> StateSnapshot:
         """Load and verify one snapshot."""
+        self._m_gets.inc()
+        with _TRACER.span("snapstore.get", key=key[:12]):
+            try:
+                return self._get_verified(key)
+            except SnapshotIntegrityError:
+                self._m_bad.inc()
+                raise
+
+    def _get_verified(self, key: str) -> StateSnapshot:
         path = self._path(key)
         if not path.exists():
             raise SnapshotIntegrityError(

@@ -1,0 +1,98 @@
+"""Zoomie's observability layer: tracing, metrics, structured logging.
+
+The paper's pitch is making FPGA debugging observable like software
+debugging; this package applies the same standard to the debugger
+itself. Three zero-dependency primitives:
+
+- :mod:`trace` — span tracing with *two clocks per span* (host wall
+  time and modeled hardware seconds), ring-buffer retention, and
+  Chrome-trace/Perfetto + tree exporters. Off by default, near-free
+  when disabled.
+- :mod:`metrics` — a unified registry of counters, gauges, and
+  log-bucket histograms that the transport, journal, snapshot store,
+  simulator, and VTI flow publish into.
+- :mod:`log` — span-correlated JSONL event logging.
+
+:class:`Observability` bundles the three process-global instances into
+the handle exposed as ``ZoomieProject.observability`` /
+``Zoomie.observability``; ``zoomie trace ...`` and ``zoomie stats`` in
+the debug CLI drive the same objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .log import StructuredLogger, get_logger
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from .trace import NOOP_SPAN, Span, Tracer, get_tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "Observability",
+    "Span",
+    "StructuredLogger",
+    "Tracer",
+    "get_logger",
+    "get_observability",
+    "get_registry",
+    "get_tracer",
+]
+
+
+@dataclass
+class Observability:
+    """The one handle over tracer + metrics + logger."""
+
+    tracer: Tracer = field(default_factory=get_tracer)
+    metrics: MetricsRegistry = field(default_factory=get_registry)
+    logger: StructuredLogger = field(default_factory=get_logger)
+
+    # -- tracing ---------------------------------------------------------
+
+    def start_tracing(self, capacity: int | None = None) -> None:
+        if capacity is not None:
+            self.tracer.capacity = capacity
+        self.tracer.start()
+
+    def stop_tracing(self) -> None:
+        self.tracer.stop()
+
+    @property
+    def tracing(self) -> bool:
+        return self.tracer.enabled
+
+    def export_trace(self, path=None) -> str:
+        """Chrome-trace JSON of everything recorded so far."""
+        return self.tracer.export_chrome_json(path)
+
+    def trace_tree(self) -> str:
+        return self.tracer.tree()
+
+    # -- metrics ---------------------------------------------------------
+
+    def stats(self) -> dict[str, dict]:
+        return self.metrics.as_dict()
+
+    def dump_stats(self, path=None) -> str:
+        return self.metrics.dump_json(path)
+
+
+#: Process-global bundle (the tracer/registry/logger singletons are
+#: shared, so every Observability() sees the same state; this instance
+#: is what the facade properties hand out).
+_OBSERVABILITY = Observability()
+
+
+def get_observability() -> Observability:
+    return _OBSERVABILITY

@@ -1,0 +1,120 @@
+"""Structured JSONL logging with span correlation.
+
+One event per line, each a self-contained JSON object::
+
+    {"event": "transport.retry", "level": "warn", "seq": 12,
+     "span_id": 44, "span": "jtag.batch", "attempt": 2, ...}
+
+``span_id``/``span`` tie an event to the innermost open tracer span, so
+a log stream and an exported trace cross-reference without guessing.
+Timestamps are the tracer's wall clock (``time.perf_counter`` seconds,
+monotonic within a process) — good for ordering and deltas, which is
+what debug-session forensics need.
+
+Logging is off by default: with no sink installed, :meth:`emit` is one
+attribute test. Sinks may be a path (append), a file object, or any
+``callable(str)``; an in-memory ring of recent records is kept for the
+CLI and tests regardless of sink.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from .trace import get_tracer
+
+__all__ = ["StructuredLogger", "get_logger"]
+
+LEVELS = ("debug", "info", "warn", "error")
+
+
+class StructuredLogger:
+    """JSONL event emitter, span-correlated, off until given a sink."""
+
+    def __init__(self, retain: int = 1024):
+        self._sink: Optional[Callable[[str], None]] = None
+        self._owned_stream: Optional[io.TextIOBase] = None
+        self.retain = retain
+        #: Recent event dicts (ring buffer), newest last.
+        self.records: list[dict] = []
+        self._seq = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self._sink is not None
+
+    # ------------------------------------------------------------------
+    # sink management
+    # ------------------------------------------------------------------
+
+    def open(self, sink: Union[str, Path, io.TextIOBase,
+                               Callable[[str], None]]) -> None:
+        """Install a sink: a path (appended), stream, or callable."""
+        self.close()
+        if isinstance(sink, (str, Path)):
+            stream = open(sink, "a")
+            self._owned_stream = stream
+            self._sink = lambda line: (stream.write(line + "\n"),
+                                       stream.flush())
+        elif callable(sink):
+            self._sink = sink
+        else:
+            self._sink = lambda line: (sink.write(line + "\n"),
+                                       sink.flush())
+
+    def close(self) -> None:
+        if self._owned_stream is not None:
+            self._owned_stream.close()
+            self._owned_stream = None
+        self._sink = None
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+
+    def emit(self, event: str, level: str = "info", **fields) -> None:
+        """Record one structured event (no-op with no sink installed)."""
+        if self._sink is None:
+            return
+        if level not in LEVELS:
+            raise ValueError(f"unknown log level {level!r}; use {LEVELS}")
+        record = {
+            "event": event,
+            "level": level,
+            "seq": self._seq,
+            "wall": time.perf_counter(),
+        }
+        self._seq += 1
+        current = get_tracer().current()
+        if current is not None:
+            record["span_id"] = current.span_id
+            record["span"] = current.name
+        record.update(fields)
+        self.records.append(record)
+        if len(self.records) > self.retain:
+            del self.records[: len(self.records) - self.retain]
+        self._sink(json.dumps(record, sort_keys=True, default=str))
+
+    def debug(self, event: str, **fields) -> None:
+        self.emit(event, level="debug", **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.emit(event, level="info", **fields)
+
+    def warn(self, event: str, **fields) -> None:
+        self.emit(event, level="warn", **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.emit(event, level="error", **fields)
+
+
+#: Process-global logger (mutated in place, never replaced).
+_LOGGER = StructuredLogger()
+
+
+def get_logger() -> StructuredLogger:
+    return _LOGGER

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Optional
 
 from .._bits import mask
@@ -518,14 +519,26 @@ def compiled_plan_for(netlist) -> CompiledPlan:
     execution semantics — including the same object re-elaborated, or
     mutated and fingerprinted again — shares one plan.
     """
+    from ..obs import get_registry, get_tracer
+    registry = get_registry()
     key = netlist.fingerprint()
     plan = _PLAN_CACHE.get(key)
     if plan is not None:
         _PLAN_STATS["hits"] += 1
+        registry.counter("sim.plan_cache.hits").inc()
         _PLAN_CACHE.move_to_end(key)
         return plan
     _PLAN_STATS["misses"] += 1
-    plan = CompiledPlan(netlist, fingerprint=key)
+    registry.counter("sim.plan_cache.misses").inc()
+    with get_tracer().span("sim.plan_compile",
+                           fingerprint=key[:12]) as span:
+        start = perf_counter()
+        plan = CompiledPlan(netlist, fingerprint=key)
+        elapsed = perf_counter() - start
+        if span is not None:
+            span.set(registers=len(netlist.registers),
+                     signals=len(netlist.signals))
+    registry.counter("sim.plan_compile_seconds").inc(elapsed)
     _PLAN_CACHE[key] = plan
     while len(_PLAN_CACHE) > _PLAN_CACHE_LIMIT:
         _PLAN_CACHE.popitem(last=False)

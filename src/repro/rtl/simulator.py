@@ -41,8 +41,12 @@ from typing import Callable, Optional
 
 from .._bits import truncate
 from ..errors import SimulationError, UnknownSignalError
+from ..obs import get_registry, get_tracer
 from ._codegen import compiled_plan_for
 from .netlist import Netlist
+
+#: Bound at import; the singletons are mutated in place, never replaced.
+_TRACER = get_tracer()
 
 #: Default clock period used when none is specified (1 ns = 1 GHz).
 DEFAULT_PERIOD_PS = 1000
@@ -169,6 +173,11 @@ class Simulator:
             self._regs_by_domain = {d: [] for d in self.domains}
             for name, reg in netlist.registers.items():
                 self._regs_by_domain.setdefault(reg.clock, []).append(name)
+
+        # Execute-side tallies (compile-side live in rtl._codegen).
+        registry = get_registry()
+        self._m_runs = registry.counter("sim.runs")
+        self._m_ticks = registry.counter("sim.ticks")
 
         self._dirty = True
         # Post-commit hooks: fn(simulator, ticked_domains).
@@ -332,7 +341,30 @@ class Simulator:
         With ``domain``, tick only that domain ``cycles`` times (testbench
         style). Without, advance global time over ``cycles`` edge events,
         ticking every domain whose edge falls at each event time.
+
+        Each call tallies into the metrics registry (``sim.runs`` /
+        ``sim.ticks``) and, with tracing enabled, records a ``sim.run``
+        span whose modeled clock is the simulated hardware time the run
+        covered.
         """
+        if cycles < 0:
+            raise SimulationError("cannot step a negative number of cycles")
+        self._m_runs.inc()
+        self._m_ticks.inc(cycles)
+        if not _TRACER.enabled:
+            return self._step_impl(cycles, domain)
+        with _TRACER.span("sim.run", cycles=cycles, engine=self.engine,
+                          domain=domain or "*") as span:
+            time_before = self.time_ps
+            self._step_impl(cycles, domain)
+            if domain is not None:
+                modeled = cycles * self.domains[domain].period_ps * 1e-12
+            else:
+                modeled = (self.time_ps - time_before) * 1e-12
+            span.set(time_ps=self.time_ps)
+            span.add_modeled(modeled)
+
+    def _step_impl(self, cycles: int, domain: Optional[str]) -> None:
         if cycles < 0:
             raise SimulationError("cannot step a negative number of cycles")
         if domain is not None:

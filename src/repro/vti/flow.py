@@ -23,6 +23,10 @@ from ..config.database import DesignDatabase, synthesize_frame_words
 from ..config.program import build_partial_bitstream
 from ..errors import PartitionError
 from ..fpga.device import Device
+from ..obs import get_registry, get_tracer
+
+#: Bound at import; the singletons are mutated in place, never replaced.
+_TRACER = get_tracer()
 from ..fpga.frames import BLOCK_MAIN, FrameAddress
 from ..rtl.module import Module
 from ..vendor import cost
@@ -99,6 +103,46 @@ class VtiFlow:
                         partitions: list[PartitionSpec],
                         debug_slr: Optional[int] = None,
                         **vendor_kwargs) -> VtiCompileResult:
+        with _TRACER.span("vti.initial",
+                          partitions=len(partitions)) as span:
+            result = self._compile_initial(
+                top, clocks, partitions, debug_slr, **vendor_kwargs)
+            self._publish_stages("vti.initial", result.base.seconds,
+                                 span)
+            get_registry().histogram(
+                "vti.initial_seconds",
+                scale=1.0, base=4.0, buckets=12).observe(
+                    result.total_seconds)
+            get_registry().counter("vti.initial_runs").inc()
+        return result
+
+    def _publish_stages(self, what: str, seconds: dict[str, float],
+                        span) -> None:
+        """Per-stage child spans, modeled-clock only.
+
+        The compile-time model charges stage seconds arithmetically —
+        no wall time passes — which is exactly what the two-clock trace
+        makes visible: a ``vti.route`` span that is microseconds of
+        wall and hours of modeled hardware time.
+        """
+        for stage, stage_seconds in seconds.items():
+            if stage == "total":
+                continue
+            with _TRACER.span(f"vti.{stage}") as stage_span:
+                if stage_span is not None:
+                    stage_span.add_modeled(stage_seconds)
+        if span is not None:
+            span.set(total_modeled_seconds=round(seconds["total"], 3))
+            # Stages sum to the total; any residual (rounding in the
+            # model) is charged here so parent == total holds.
+            residual = seconds["total"] - math.fsum(
+                value for key, value in seconds.items() if key != "total")
+            span.add_modeled(residual)
+
+    def _compile_initial(self, top: Module, clocks: dict[str, float],
+                         partitions: list[PartitionSpec],
+                         debug_slr: Optional[int] = None,
+                         **vendor_kwargs) -> VtiCompileResult:
         split = split_design(top, partitions)
 
         requirements: dict[str, RegionRequirement] = {}
@@ -141,6 +185,27 @@ class VtiFlow:
         ``modified_module`` is the partition's new definition (``None``
         re-runs the existing one, e.g. after a constraint-only change).
         """
+        with _TRACER.span("vti.incremental",
+                          partition=partition_path) as span:
+            result = self._compile_incremental(
+                initial, partition_path, modified_module)
+            self._publish_stages("vti.incremental", result.seconds,
+                                 span)
+            if span is not None:
+                span.set(version=result.version,
+                         timing_met=result.timing.met)
+            registry = get_registry()
+            registry.histogram(
+                "vti.incremental_seconds",
+                scale=1.0, base=4.0, buckets=12).observe(
+                    result.total_seconds)
+            registry.counter("vti.incremental_runs").inc()
+        return result
+
+    def _compile_incremental(self, initial: VtiCompileResult,
+                             partition_path: str,
+                             modified_module: Optional[Module] = None
+                             ) -> VtiIncrementalResult:
         run = self._runs
         self._runs += 1
         partition = initial.split.partition(partition_path)

@@ -180,3 +180,57 @@ class TestRepl:
     def test_run_script(self, cli):
         outputs = cli.run_script(["break issued=1", "run"])
         assert len(outputs) == 2
+
+
+class TestStatsAndTrace:
+    def test_stats_lists_ring_and_registry(self, cli):
+        cli.execute("run 5")
+        out = cli.execute("stats")
+        assert "transport (this session's JTAG ring):" in out
+        assert "batches =" in out
+        assert "process metrics:" in out
+        assert "debug.commands:" in out
+
+    def test_stats_json_schema(self, cli):
+        cli.execute("run 5")
+        import json
+        data = json.loads(cli.execute("stats --json"))
+        assert set(data) == {"transport", "metrics"}
+        assert data["transport"] == \
+            cli.debugger.fabric.transport.stats.as_dict()
+        assert data["metrics"]["debug.commands"]["type"] == "counter"
+
+    def test_stats_rejects_unknown_flags(self, cli):
+        assert cli.execute("stats --wat").startswith("error:")
+
+    def test_trace_lifecycle(self, cli, tmp_path):
+        from repro.obs import get_tracer
+        tracer = get_tracer()
+        tracer.clear()
+        try:
+            assert "tracing off" in cli.execute("trace status")
+            assert cli.execute("trace start") == "tracing on"
+            cli.execute("run 5")
+            cli.execute("pause")
+            cli.execute("state")
+            tree = cli.execute("trace tree")
+            assert "debug.run" in tree
+            assert "jtag.batch" in tree
+            assert "modeled=" in tree
+
+            path = tmp_path / "trace.json"
+            out = cli.execute(f"trace export {path}")
+            assert str(path) in out
+            import json
+            events = json.loads(path.read_text())
+            assert any(e["name"] == "debug.pause" for e in events)
+
+            assert "tracing off" in cli.execute("trace stop")
+            assert "tracing off" in cli.execute("trace status")
+        finally:
+            tracer.stop()
+            tracer.clear()
+
+    def test_trace_bad_usage(self, cli):
+        assert cli.execute("trace bogus").startswith("error:")
+        assert cli.execute("trace export").startswith("error:")

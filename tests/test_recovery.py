@@ -397,3 +397,38 @@ class TestWatchdog:
         drive(session)
         assert not session.debugger.safe_paused
         assert session.debugger.is_paused()
+
+
+class TestRecoveryTracing:
+    def test_recovery_emits_one_span_per_journal_record(self, tmp_path):
+        from repro.obs import get_tracer
+
+        session = launch()
+        enable_crash_safety(session.debugger, tmp_path)
+        drive(session)
+        records, _ = read_journal(tmp_path / JOURNAL_NAME)
+        assert records
+
+        tracer = get_tracer()
+        tracer.clear()
+        tracer.start()
+        try:
+            fresh = launch()
+            report = recover_session(fresh.debugger, tmp_path)
+            record_spans = tracer.find("recover.record")
+            # One audit span per journal record, in journal order —
+            # including pre-base records the checkpoint lets replay skip.
+            assert len(record_spans) == len(records)
+            assert [span.attrs["index"] for span in record_spans] \
+                == [record.index for record in records]
+            (session_span,) = tracer.find("recover.session")
+            assert all(span.parent_id == session_span.span_id
+                       for span in record_spans)
+            assert session_span.attrs["commands_replayed"] \
+                == report.commands_replayed
+            # The replayed commands charged modeled JTAG seconds, which
+            # rolled up through recover.record into the session span.
+            assert session_span.modeled_seconds > 0
+        finally:
+            tracer.stop()
+            tracer.clear()
