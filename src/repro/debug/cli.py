@@ -57,6 +57,8 @@ Commands:
                                     snapshot store)
   stats [--json]                    this ring's transport counters plus
                                     the process metrics registry
+  vti cache stats [--json]          VTI compile-cache hit/miss counters
+  vti cache clear                   drop every cached compile artifact
   trace start|stop|status           control span tracing (off by default)
   trace export FILE                 write Chrome-trace JSON for Perfetto
   trace tree                        recorded spans, indented, both clocks
@@ -100,6 +102,7 @@ class ZoomieCli:
             "journal": self._cmd_journal,
             "recover": self._cmd_recover,
             "stats": self._cmd_stats,
+            "vti": self._cmd_vti,
             "trace": self._cmd_trace,
             "help": lambda args: _HELP,
         }
@@ -323,6 +326,25 @@ class ZoomieCli:
         lines += ["  " + line
                   for line in obs.metrics.summary().split("\n")]
         return "\n".join(lines)
+
+    def _cmd_vti(self, args: list[str]) -> str:
+        from ..vti.cache import get_default_cache
+        usage = "usage: vti cache stats [--json] | vti cache clear"
+        if not args or args[0] != "cache" or len(args) < 2:
+            raise ValueError(usage)
+        cache = get_default_cache()
+        verb, rest = args[1], args[2:]
+        if verb == "stats":
+            if rest not in ([], ["--json"]):
+                raise ValueError(usage)
+            if rest:
+                return json.dumps(cache.stats_dict(),
+                                  indent=1, sort_keys=True)
+            return cache.summary()
+        if verb == "clear" and not rest:
+            dropped = cache.clear()
+            return f"compile cache cleared ({dropped} entry(ies))"
+        raise ValueError(usage)
 
     def _cmd_trace(self, args: list[str]) -> str:
         obs = get_observability()

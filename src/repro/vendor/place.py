@@ -410,6 +410,66 @@ def place(synth: SynthesisResult, device: Device,
         slr_crossings=slr_crossings, memory_map=memory_map)
 
 
+def place_partition(flat: Netlist, device: Device, path: str,
+                    constraints: dict[str, Region]
+                    ) -> tuple[list[LLEntry], dict[str, MemoryPlacement]]:
+    """BEL-assign one partition's state into its reserved region.
+
+    The O(partition) core of VTI's incremental database rebuild: instead
+    of re-placing the whole design, only signals owned by ``path`` get
+    fresh locations. The assignment order mirrors :func:`place` exactly
+    (globally sorted registers, then sync read-port latches, consumed by
+    one sequential :class:`_BelCursor` per region) — and since regions
+    are exclusive, the partition's slot stream never interacts with the
+    static region's, so the emitted entries are *identical* to what a
+    full re-place would produce and the static checkpoint's entries can
+    be reused untouched.
+
+    Memories are assigned by replaying the same first-fit column walk as
+    :func:`_place_memories` over every memory (an O(#memories) loop, not
+    a placement) and keeping only the partition's rows, so shared-column
+    frame cursors line up with the initial compile.
+    """
+    region = constraints.get(path)
+    if region is None:
+        raise PlacementError(f"no reserved region for partition {path!r}")
+    fallback = _static_region(device, constraints)
+    cursor = _BelCursor(device, region)
+    space = FrameSpace(device.slr(region.slr))
+    entries: list[LLEntry] = []
+
+    def _owned(owner: str) -> bool:
+        key, _ = _region_for(owner, constraints, fallback)
+        return key == path
+
+    def _locate(name: str, width: int) -> None:
+        for bit in range(width):
+            column, row, slot = cursor.next_slot()
+            frame, offset = space.ff_location(column, row, slot)
+            entries.append(LLEntry(name=name, bit=bit, slr=region.slr,
+                                   frame=frame, offset=offset))
+
+    for name, reg in sorted(flat.registers.items()):
+        if _owned(flat.owner.get(name, "")):
+            _locate(name, reg.width)
+    for mem_name, memory in sorted(flat.memories.items()):
+        for port in memory.read_ports:
+            if not port.sync:
+                continue
+            owner = flat.owner.get(
+                port.name, flat.owner.get(mem_name, ""))
+            if _owned(owner):
+                _locate(port.name, memory.width)
+
+    memory_map = {
+        name: placement
+        for name, placement in _place_memories(
+            device, flat, constraints, fallback).items()
+        if _owned(flat.owner.get(name, ""))
+    }
+    return entries, memory_map
+
+
 def _place_memories(device: Device, flat: Netlist,
                     constraints: dict[str, Region],
                     fallback: Region) -> dict[str, MemoryPlacement]:

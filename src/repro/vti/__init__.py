@@ -11,15 +11,21 @@ bitstreams — turning hours-long recompiles into minutes (~18x, Fig. 7).
 from .partition import DesignSplit, PartitionSpec
 from .estimate import estimate_requirements, DEFAULT_OVER_PROVISION
 from .floorplan import floorplan_partitions
+from .cache import CompileCache, compile_fingerprint, \
+    get_default_cache, module_fingerprint
 from .flow import VtiFlow, VtiCompileResult, VtiIncrementalResult
 
 __all__ = [
     "DEFAULT_OVER_PROVISION",
+    "CompileCache",
     "DesignSplit",
     "PartitionSpec",
     "VtiCompileResult",
     "VtiFlow",
     "VtiIncrementalResult",
+    "compile_fingerprint",
     "estimate_requirements",
     "floorplan_partitions",
+    "get_default_cache",
+    "module_fingerprint",
 ]

@@ -16,10 +16,15 @@ minutes instead of hours (paper Figure 7: ~18x).
 from __future__ import annotations
 
 import math
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Optional
 
 from ..config.database import DesignDatabase, synthesize_frame_words
+from ..config.logic_loc import LogicLocationFile
 from ..config.program import build_partial_bitstream
 from ..errors import PartitionError
 from ..fpga.device import Device
@@ -39,6 +44,8 @@ from ..vendor.timing import (
     TimingResult,
     congestion_penalty_ns,
 )
+from .cache import CacheEntry, CompileCache, compile_fingerprint, \
+    get_default_cache
 from .estimate import RegionRequirement, estimate_requirements
 from .floorplan import Floorplan, floorplan_partitions, region_frame_count
 from .link import LinkReport, check_boundary_compatible, replace_instance_module
@@ -56,6 +63,11 @@ class VtiCompileResult:
     clocks: dict[str, float]
     top: Module
     version: int = 0
+    #: Incremental versions claimed against this baseline so far; the
+    #: flow advances it under a lock so chained and concurrent
+    #: recompiles each get a distinct, monotonic version (and database
+    #: name) instead of all colliding on ``version + 1``.
+    issued_increments: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -80,20 +92,36 @@ class VtiIncrementalResult:
     database: Optional[DesignDatabase] = None
     partial_bitstream: Optional[list[int]] = None
     region_mask: int = 0
+    #: Whether the expensive artifacts came from the compile cache.
+    cache_hit: bool = False
 
     @property
     def total_seconds(self) -> float:
         return self.seconds["total"]
 
 
+#: Sentinel: "use the process-wide default cache" (pass ``cache=None``
+#: to disable caching entirely).
+_DEFAULT = object()
+
+
 class VtiFlow:
     """Zoomie's incremental compiler, wrapping the vendor tool."""
 
-    def __init__(self, device: Device, seed: str = "vti"):
+    def __init__(self, device: Device, seed: str = "vti",
+                 cache=_DEFAULT):
         self.device = device
         self.vendor = VivadoFlow(device, seed=f"{seed}-vendor")
         self.seed = seed
-        self._runs = 0
+        self.cache: Optional[CompileCache] = (
+            get_default_cache() if cache is _DEFAULT else cache)
+        self._version_lock = threading.Lock()
+
+    def _claim_version(self, initial: VtiCompileResult) -> int:
+        """Next monotonic version against ``initial`` (thread-safe)."""
+        with self._version_lock:
+            initial.issued_increments += 1
+            return initial.version + initial.issued_increments
 
     # ------------------------------------------------------------------
     # initial compile
@@ -189,60 +217,111 @@ class VtiFlow:
                           partition=partition_path) as span:
             result = self._compile_incremental(
                 initial, partition_path, modified_module)
-            self._publish_stages("vti.incremental", result.seconds,
-                                 span)
-            if span is not None:
-                span.set(version=result.version,
-                         timing_met=result.timing.met)
-            registry = get_registry()
-            registry.histogram(
-                "vti.incremental_seconds",
-                scale=1.0, base=4.0, buckets=12).observe(
-                    result.total_seconds)
-            registry.counter("vti.incremental_runs").inc()
+            self._publish_incremental(result, span)
         return result
+
+    def _publish_incremental(self, result: VtiIncrementalResult,
+                             span) -> None:
+        """Spans and metrics for one finished incremental compile.
+
+        Kept apart from the compile itself because the scheduler's
+        worker threads must not touch the (single-threaded) tracer —
+        parallel compiles publish here post-merge, on the main thread.
+        """
+        self._publish_stages("vti.incremental", result.seconds, span)
+        if span is not None:
+            span.set(version=result.version,
+                     timing_met=result.timing.met,
+                     cache_hit=result.cache_hit)
+        registry = get_registry()
+        registry.histogram(
+            "vti.incremental_seconds",
+            scale=1.0, base=4.0, buckets=12).observe(
+                result.total_seconds)
+        registry.counter("vti.incremental_runs").inc()
 
     def _compile_incremental(self, initial: VtiCompileResult,
                              partition_path: str,
-                             modified_module: Optional[Module] = None
+                             modified_module: Optional[Module] = None,
+                             version: Optional[int] = None
                              ) -> VtiIncrementalResult:
-        run = self._runs
-        self._runs += 1
+        if version is None:
+            version = self._claim_version(initial)
+        # The jitter on modeled stage seconds is keyed by the compile's
+        # version, never by execution order — so serial, parallel, and
+        # cache-hit recompiles of the same change stay bit-identical.
+        run = version
         partition = initial.split.partition(partition_path)
         new_module = modified_module or partition.module
-
-        boundary_nets = check_boundary_compatible(
-            partition.module, new_module)
-
-        # Partition-local synthesis.
-        psynth = synthesize(new_module, opt="local")
-        requirement = estimate_requirements(
-            partition_path, psynth.totals,
-            partition.spec.over_provision)
         region = initial.floorplan.regions[partition_path]
         capacity = region.capacity(self.device)
-        if not requirement.satisfied_by(capacity):
-            raise PartitionError(
-                f"partition {partition_path!r} grew beyond its reserved "
-                f"region ({requirement.estimated.as_dict()} vs "
-                f"{capacity}); re-run the initial VTI compile")
 
-        # Region-local timing: the partition's logic depth plus the
-        # congestion of its own (over-provisioned) region only.
-        fill = requirement.expected_fill(capacity)
-        timing = self._partition_timing(psynth, fill, initial.clocks)
+        entry = None
+        if self.cache is not None:
+            fingerprint = compile_fingerprint(
+                part=self.device.part, seed=self.seed,
+                base_name=initial.base.name,
+                partition_path=partition_path,
+                over_provision=partition.spec.over_provision,
+                region=str(region), baseline=partition.module,
+                module=new_module)
+            entry = self.cache.get(fingerprint)
+        else:
+            fingerprint = ""
+
+        if entry is None:
+            # Cold path: boundary check + partition-local synthesis.
+            boundary_nets = check_boundary_compatible(
+                partition.module, new_module)
+            psynth = synthesize(new_module, opt="local")
+            requirement = estimate_requirements(
+                partition_path, psynth.totals,
+                partition.spec.over_provision)
+            if not requirement.satisfied_by(capacity):
+                raise PartitionError(
+                    f"partition {partition_path!r} grew beyond its "
+                    f"reserved region "
+                    f"({requirement.estimated.as_dict()} vs {capacity}); "
+                    f"re-run the initial VTI compile")
+            # Region-local timing: the partition's logic depth plus the
+            # congestion of its own (over-provisioned) region only.
+            fill = requirement.expected_fill(capacity)
+            timing = self._partition_timing(psynth, fill, initial.clocks)
+            entry = CacheEntry(
+                fingerprint=fingerprint,
+                partition_path=partition_path,
+                boundary_nets=boundary_nets,
+                requirement=requirement, timing=timing,
+                partition_nets=psynth.total_nets())
+            fresh = True
+        else:
+            # Hit: the fingerprint vouches for the boundary check, but
+            # the fit check stays — it guards the region, not the
+            # netlist, and costs nothing.
+            requirement = entry.requirement
+            if not requirement.satisfied_by(capacity):
+                raise PartitionError(
+                    f"partition {partition_path!r} grew beyond its "
+                    f"reserved region "
+                    f"({requirement.estimated.as_dict()} vs {capacity}); "
+                    f"re-run the initial VTI compile")
+            fill = requirement.expected_fill(capacity)
+            timing = entry.timing
+            fresh = False
 
         # Cost: tiny partition compile + whole-design link + partial
-        # bitstream for the region.
+        # bitstream for the region. Always recomputed — modeled seconds
+        # are what the real tool *would* spend, so a cache hit saves
+        # host wall-clock, never modeled hardware time.
         seed = f"{self.seed}:{partition_path}"
         design_cells = initial.base.synth.totals.total_cells()
         region_frames = region_frame_count(self.device, region)
         seconds = {
-            "synth": cost.synth_seconds(psynth.totals.lut, seed, run),
+            "synth": cost.synth_seconds(requirement.raw.lut, seed, run),
             "place": cost.place_seconds(
-                psynth.totals.total_cells(), fill, seed, run),
+                requirement.raw.total_cells(), fill, seed, run),
             "route": cost.route_seconds(
-                psynth.total_nets(), fill, seed, run),
+                entry.partition_nets, fill, seed, run),
             "link": cost.vti_link_seconds(design_cells, seed, run),
             "bitgen": (cost.VTI_PARTIAL_BITGEN_FIXED
                        + cost.BITGEN_PER_FRAME * region_frames)
@@ -252,30 +331,40 @@ class VtiFlow:
 
         link = LinkReport(
             partition_path=partition_path,
-            boundary_nets=boundary_nets,
-            static_cells=design_cells - psynth.totals.total_cells())
+            boundary_nets=entry.boundary_nets,
+            static_cells=design_cells - requirement.raw.total_cells())
 
-        new_top = (replace_instance_module(
-            initial.top, partition_path, new_module)
-            if modified_module is not None else initial.top)
-        version = initial.version + 1
+        if modified_module is None:
+            new_top = initial.top
+        elif entry.new_top is not None:
+            new_top = entry.new_top
+        else:
+            new_top = replace_instance_module(
+                initial.top, partition_path, new_module)
+            entry.new_top = new_top
 
         database = None
         partial = None
         region_mask = initial.floorplan.region_mask(partition_path)
         if initial.base.database is not None:
             database, partial = self._rebuild_database(
-                initial, new_top, partition_path, region_mask, version)
+                initial, new_top, partition_path, region_mask, version,
+                entry)
+        if fresh and self.cache is not None:
+            self.cache.put(entry)
 
         return VtiIncrementalResult(
             partition_path=partition_path, seconds=seconds,
             timing=timing, link=link, requirement=requirement,
             new_top=new_top, version=version, database=database,
-            partial_bitstream=partial, region_mask=region_mask)
+            partial_bitstream=partial, region_mask=region_mask,
+            cache_hit=not fresh)
 
     def compile_incremental_many(
             self, initial: VtiCompileResult,
-            changes: dict[str, Optional[Module]]
+            changes: dict[str, Optional[Module]],
+            parallel: bool = True,
+            max_workers: Optional[int] = None
             ) -> tuple[list[VtiIncrementalResult], float]:
         """Recompile several partitions at once.
 
@@ -285,21 +374,87 @@ class VtiFlow:
         slowest partition's synth+place+route+bitgen plus **one** link
         of the static checkpoint.
 
-        Returns the per-partition results and the combined wall-clock
-        seconds.
+        With ``parallel=True`` the partition compiles really do run
+        concurrently (a :class:`ThreadPoolExecutor`), then merge
+        deterministically: results come back sorted by partition path,
+        versions are pre-claimed in that same order, and the modeled
+        seconds are bit-identical to the serial flow — only host
+        wall-clock changes. If any partition fails, the error of the
+        earliest failing path (in sorted order) is raised, matching
+        what the serial loop would surface.
+
+        Returns the per-partition results (sorted by partition path)
+        and the combined modeled wall-clock seconds.
         """
         if not changes:
             raise PartitionError("no partitions to recompile")
-        results = [
-            self.compile_incremental(initial, path, module)
-            for path, module in changes.items()
-        ]
-        per_partition = [
-            result.total_seconds - result.seconds["link"]
-            for result in results
-        ]
-        shared_link = max(result.seconds["link"] for result in results)
-        wall_seconds = max(per_partition) + shared_link
+        paths = sorted(changes)
+        versions = {path: self._claim_version(initial)
+                    for path in paths}
+        registry = get_registry()
+        queue_depth = registry.gauge("vti.scheduler.queue_depth")
+        wall_histogram = registry.histogram(
+            "vti.partition_compile_wall_seconds",
+            scale=1e-6, base=4.0, buckets=16)
+
+        def compile_one(path: str
+                        ) -> tuple[VtiIncrementalResult, float]:
+            start = time.perf_counter()
+            result = self._compile_incremental(
+                initial, path, changes[path], version=versions[path])
+            return result, time.perf_counter() - start
+
+        with _TRACER.span("vti.incremental_many",
+                          partitions=len(paths),
+                          parallel=parallel) as span:
+            outcomes: dict[str, tuple[VtiIncrementalResult, float]] = {}
+            if parallel and len(paths) > 1:
+                workers = max_workers or min(
+                    len(paths), max(2, os.cpu_count() or 2))
+                queue_depth.set(len(paths))
+                # Workers run the pure compile only; spans and metrics
+                # are published post-merge (the tracer is
+                # single-threaded by design).
+                with ThreadPoolExecutor(
+                        max_workers=workers,
+                        thread_name_prefix="vti-compile") as pool:
+                    futures = {path: pool.submit(compile_one, path)
+                               for path in paths}
+                    pending = len(paths)
+                    for _ in as_completed(futures.values()):
+                        pending -= 1
+                        queue_depth.set(pending)
+                    for path in paths:
+                        # .result() re-raises the earliest failing
+                        # path's error in sorted order — the same one
+                        # the serial loop would surface.
+                        outcomes[path] = futures[path].result()
+            else:
+                queue_depth.set(len(paths))
+                for index, path in enumerate(paths):
+                    outcomes[path] = compile_one(path)
+                    queue_depth.set(len(paths) - index - 1)
+
+            results = []
+            for path in paths:
+                result, host_seconds = outcomes[path]
+                wall_histogram.observe(host_seconds)
+                with _TRACER.span("vti.incremental",
+                                  partition=path) as child:
+                    self._publish_incremental(result, child)
+                results.append(result)
+
+            per_partition = [
+                result.total_seconds - result.seconds["link"]
+                for result in results
+            ]
+            shared_link = max(
+                result.seconds["link"] for result in results)
+            wall_seconds = max(per_partition) + shared_link
+            if span is not None:
+                span.set(wall_modeled_seconds=round(wall_seconds, 3),
+                         cache_hits=sum(
+                             1 for r in results if r.cache_hit))
         return results, wall_seconds
 
     # ------------------------------------------------------------------
@@ -325,18 +480,54 @@ class VtiFlow:
 
     def _rebuild_database(self, initial: VtiCompileResult,
                           new_top: Module, partition_path: str,
-                          region_mask: int, version: int):
-        """Fabric-executable path: updated database + partial bitstream."""
+                          region_mask: int, version: int,
+                          entry: Optional[CacheEntry] = None):
+        """Fabric-executable path: updated database + partial bitstream.
+
+        O(partition), not O(design): the static region's logic-location
+        entries and memory placements are copied from the initial
+        compile's database (regions are exclusive, so a full re-place
+        would reproduce them bit-for-bit), and only the changed
+        partition is re-placed — via :func:`place_partition`, or pulled
+        straight from the compile cache when the netlist was seen
+        before. Frame content and the partial bitstream depend on the
+        database *name* (hence version), so they are synthesized fresh
+        every call.
+        """
         base_db = initial.base.database
         assert base_db is not None
         from ..rtl.flatten import elaborate
-        from ..vendor.place import place
+        from ..vendor.place import place_partition
 
-        flat = elaborate(new_top)
-        full_synth = synthesize(new_top, opt="local")
-        placement = place(full_synth, self.device, flat=flat,
-                          constraints=dict(initial.floorplan.regions))
-        assert placement.ll is not None
+        flat = entry.flat if entry is not None else None
+        if flat is None:
+            flat = elaborate(new_top)
+            if entry is not None:
+                entry.flat = flat
+        partition_ll = entry.partition_ll if entry is not None else None
+        partition_memories = (
+            entry.partition_memories if entry is not None else None)
+        if partition_ll is None:
+            partition_ll, partition_memories = place_partition(
+                flat, self.device, partition_path,
+                dict(initial.floorplan.regions))
+            if entry is not None:
+                entry.partition_ll = partition_ll
+                entry.partition_memories = partition_memories
+
+        dotted = partition_path + "."
+        def is_static(name: str) -> bool:
+            return not (name == partition_path
+                        or name.startswith(dotted))
+        ll = LogicLocationFile(
+            [e for e in base_db.ll.entries if is_static(e.name)]
+            + list(partition_ll))
+        memory_map = {
+            name: placement
+            for name, placement in base_db.memory_map.items()
+            if is_static(name)
+        }
+        memory_map.update(partition_memories or {})
 
         region = initial.floorplan.regions[partition_path]
         columns = {c.index for c in region.columns(self.device)}
@@ -357,9 +548,10 @@ class VtiFlow:
 
         database = DesignDatabase(
             name=name, device=self.device, netlist=flat,
-            ll=placement.ll, clocks=dict(base_db.clocks),
+            ll=ll, clocks=dict(base_db.clocks),
             frame_image=new_image,
-            gate_signals=dict(base_db.gate_signals))
+            gate_signals=dict(base_db.gate_signals),
+            memory_map=memory_map)
         partial = build_partial_bitstream(
             database, region.slr, partial_frames, region_mask)
         return database, partial

@@ -26,6 +26,20 @@ class LinkReport:
     static_cells: int
 
 
+def boundary_signature(module: Module) -> str:
+    """Canonical text form of a module's port interface.
+
+    The region-pin contract linking enforces, in one comparable string:
+    sorted ``name:width:direction`` triples. Two modules link against
+    the same static checkpoint iff their signatures match; the compile
+    cache folds this into its content address so a hit also vouches for
+    the boundary check.
+    """
+    return ";".join(
+        f"{p.name}:{p.width}:{p.direction}"
+        for p in sorted(module.ports.values(), key=lambda p: p.name))
+
+
 def check_boundary_compatible(old: Module, new: Module) -> int:
     """Verify the port interface is unchanged; returns boundary net count."""
     old_ports = {p.name: (p.width, p.direction)

@@ -234,3 +234,52 @@ class TestStatsAndTrace:
     def test_trace_bad_usage(self, cli):
         assert cli.execute("trace bogus").startswith("error:")
         assert cli.execute("trace export").startswith("error:")
+
+
+class TestVtiCacheCommands:
+    def test_cache_stats_text_and_json(self, cli):
+        import json as _json
+        from repro.vti import PartitionSpec, VtiFlow, get_default_cache
+        from repro.fpga import make_test_device
+        from tests.test_vti_differential import counter_farm
+
+        cache = get_default_cache()
+        cache.clear()
+        # Other tests share the process-wide cache; assert on deltas.
+        before = cache.stats_dict()
+        flow = VtiFlow(make_test_device())
+        assert flow.cache is cache
+        initial = flow.compile_initial(
+            counter_farm(), {"clk": 100.0},
+            [PartitionSpec("c0")], debug_slr=0)
+        flow.compile_incremental(initial, "c0")  # miss
+        flow.compile_incremental(initial, "c0")  # hit
+
+        text = cli.execute("vti cache stats")
+        assert f"hits {before['hits'] + 1}" in text
+        assert f"misses {before['misses'] + 1}" in text
+
+        stats = _json.loads(cli.execute("vti cache stats --json"))
+        assert stats["hits"] == before["hits"] + 1
+        assert stats["misses"] == before["misses"] + 1
+        assert stats["entries"] == 1
+
+        out = cli.execute("vti cache clear")
+        assert "cleared" in out
+        stats = _json.loads(cli.execute("vti cache stats --json"))
+        assert stats["entries"] == 0
+
+    def test_cache_counters_visible_in_process_stats(self, cli):
+        import json as _json
+        from repro.vti import get_default_cache
+        get_default_cache()  # registers the vti.cache.* metrics
+        stats = _json.loads(cli.execute("stats --json"))
+        metric_names = stats["metrics"]
+        assert any(name.startswith("vti.cache.")
+                   for name in metric_names), sorted(metric_names)[:5]
+
+    def test_vti_usage_errors(self, cli):
+        assert cli.execute("vti").startswith("error:")
+        assert cli.execute("vti cache").startswith("error:")
+        assert cli.execute("vti cache stats --wat").startswith("error:")
+        assert cli.execute("vti cache clear extra").startswith("error:")

@@ -12,6 +12,7 @@ from repro.vendor import VivadoFlow, synthesize
 from repro.vendor.resources import ResourceVector
 from repro.vti import (
     DEFAULT_OVER_PROVISION,
+    CompileCache,
     PartitionSpec,
     VtiFlow,
     estimate_requirements,
@@ -150,6 +151,23 @@ class TestBoundaryLinking:
         assert top.instances["u0"].module is leaf
 
 
+def make_oversized_clone(core):
+    """Same boundary as ``core``, absurdly large internals — guaranteed
+    to overflow any reserved region."""
+    big = ModuleBuilder(core.name)
+    for port in core.ports.values():
+        if port.direction == "input":
+            big.input(port.name, port.width)
+    regs = [big.reg(f"r{i}", 64) for i in range(4000)]
+    for reg in regs:
+        big.next(reg, reg + 1)
+    for port in core.ports.values():
+        if port.direction == "output":
+            big.output_expr(port.name, regs[0][port.width - 1:0]
+                            if port.width <= 64 else None)
+    return big.build()
+
+
 class TestFigure7:
     """The headline result: ~18x incremental speedup over ~4.5 h."""
 
@@ -190,21 +208,9 @@ class TestFigure7:
 
     def test_partition_growth_beyond_region_rejected(self, flows):
         _soc, vti, initial = flows
-        big = ModuleBuilder("serv_core")
         # Same boundary as serv_core but absurdly large internals.
         core = initial.split.partition("tile0.core0").module
-        for port in core.ports.values():
-            if port.direction == "input":
-                big.input(port.name, port.width)
-        regs = [big.reg(f"r{i}", 64) for i in range(4000)]
-        for i, reg in enumerate(regs):
-            big.next(reg, reg + 1)
-        import repro.rtl.expr as E
-        for port in core.ports.values():
-            if port.direction == "output":
-                big.output_expr(port.name, regs[0][port.width - 1:0]
-                                if port.width <= 64 else None)
-        module = big.build()
+        module = make_oversized_clone(core)
         with pytest.raises(PartitionError):
             vti.compile_incremental(initial, "tile0.core0", module)
 
@@ -305,6 +311,63 @@ class TestPartialReconfiguration:
         assert initial.base.bitstream is not None
 
 
+class TestVersioning:
+    """Chained incrementals must version monotonically (regression: every
+    recompile used to get ``initial.version + 1``, colliding on version
+    and database name)."""
+
+    def build_top(self):
+        leaf_b = ModuleBuilder("leaf")
+        en = leaf_b.input("en", 1)
+        count = leaf_b.reg("count", 8)
+        leaf_b.next(count, mux(en, count + 1, count))
+        leaf_b.output_expr("out", count)
+        b = ModuleBuilder("vtop")
+        en = b.input("en", 1)
+        refs = b.instantiate(leaf_b.build(), "iterated",
+                             inputs={"en": en})
+        b.output_expr("o", refs["out"])
+        return b.build()
+
+    def test_chained_incrementals_version_monotonically(self):
+        vti = VtiFlow(make_test_device(), cache=None)
+        initial = vti.compile_initial(
+            self.build_top(), {"clk": 100.0},
+            [PartitionSpec("iterated")], debug_slr=0)
+        assert initial.database is not None
+        versions, names = [], []
+        for _ in range(3):
+            incr = vti.compile_incremental(initial, "iterated")
+            versions.append(incr.version)
+            names.append(incr.database.name)
+        assert versions == [1, 2, 3]
+        assert names == [f"{initial.database.name}.v{v}"
+                         for v in versions]
+        assert len(set(names)) == 3
+
+    def test_distinct_versions_get_distinct_partial_bitstreams(self):
+        """Frame content derives from the database name, so colliding
+        versions would silently reprogram identical frames."""
+        vti = VtiFlow(make_test_device(), cache=None)
+        initial = vti.compile_initial(
+            self.build_top(), {"clk": 100.0},
+            [PartitionSpec("iterated")], debug_slr=0)
+        first = vti.compile_incremental(initial, "iterated")
+        second = vti.compile_incremental(initial, "iterated")
+        assert first.partial_bitstream != second.partial_bitstream
+
+    def test_cached_recompile_still_advances_version(self):
+        vti = VtiFlow(make_test_device(), cache=CompileCache())
+        initial = vti.compile_initial(
+            self.build_top(), {"clk": 100.0},
+            [PartitionSpec("iterated")], debug_slr=0)
+        first = vti.compile_incremental(initial, "iterated")
+        second = vti.compile_incremental(initial, "iterated")
+        assert not first.cache_hit and second.cache_hit
+        assert (first.version, second.version) == (1, 2)
+        assert second.database.name.endswith(".v2")
+
+
 class TestParallelRecompiles:
     """Section 3.5: partition compiles run in parallel, one shared link."""
 
@@ -333,3 +396,54 @@ class TestParallelRecompiles:
             soc, {"clk": 50.0}, [PartitionSpec("tile0.core0")])
         with pytest.raises(PartitionError):
             vti.compile_incremental_many(initial, {})
+
+
+class TestSchedulerCoverage:
+    """compile_incremental_many: exact wall-clock math, deterministic
+    ordering, and the PartitionError paths."""
+
+    @pytest.fixture(scope="class")
+    def many_initial(self):
+        soc = make_manycore_soc(5400)
+        vti = VtiFlow(make_u200(), cache=None)
+        initial = vti.compile_initial(
+            soc, {"clk": 50.0},
+            [PartitionSpec(f"tile{i}.core0") for i in range(3)])
+        return vti, initial
+
+    def test_wall_is_max_partition_plus_single_link(self, many_initial):
+        vti, initial = many_initial
+        results, wall = vti.compile_incremental_many(
+            initial, {f"tile{i}.core0": None for i in range(3)})
+        expected = max(
+            r.total_seconds - r.seconds["link"] for r in results
+        ) + max(r.seconds["link"] for r in results)
+        assert wall == expected  # exact, not approximate
+
+    def test_results_sorted_by_partition_path(self, many_initial):
+        vti, initial = many_initial
+        results, _wall = vti.compile_incremental_many(
+            initial, {"tile2.core0": None, "tile0.core0": None})
+        assert [r.partition_path for r in results] \
+            == ["tile0.core0", "tile2.core0"]
+
+    def test_region_overflow_raises_in_parallel_and_serial(
+            self, many_initial):
+        vti, initial = many_initial
+        core = initial.split.partition("tile0.core0").module
+        big = make_oversized_clone(core)
+        for parallel in (True, False):
+            with pytest.raises(PartitionError):
+                vti.compile_incremental_many(
+                    initial, {"tile0.core0": big, "tile1.core0": None},
+                    parallel=parallel)
+
+    def test_serial_mode_shares_the_link_too(self, many_initial):
+        vti, initial = many_initial
+        results, wall = vti.compile_incremental_many(
+            initial, {f"tile{i}.core0": None for i in range(2)},
+            parallel=False)
+        assert wall < sum(r.total_seconds for r in results)
+        assert wall == max(
+            r.total_seconds - r.seconds["link"] for r in results
+        ) + max(r.seconds["link"] for r in results)
