@@ -41,12 +41,15 @@ def _rate(sim, cycles: int) -> float:
 
 
 def _record(rates: dict[str, float]) -> None:
-    """Append this run to BENCH_simulator.json and soft-check the
-    previous run for regressions."""
+    """Record this run in BENCH_simulator.json (latest entry per design
+    — no duplicate accumulation) and soft-check the previous matching
+    run for regressions."""
     history = record_bench("simulator",
-                           {"design": "cohort-soc", "rates": rates})
-    if history:
-        previous = history[-1]["rates"]
+                           {"design": "cohort-soc", "rates": rates},
+                           key="design")
+    matching = [e for e in history if e.get("design") == "cohort-soc"]
+    if matching:
+        previous = matching[-1]["rates"]
         for engine, rate in rates.items():
             floor = previous.get(engine, 0) * REGRESSION_TOLERANCE
             if rate < floor:

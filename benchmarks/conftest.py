@@ -38,18 +38,25 @@ def bench_json_path(name: str) -> pathlib.Path:
     return pathlib.Path(__file__).parent / f"BENCH_{name}.json"
 
 
-def record_bench(name: str, entry: dict) -> list[dict]:
+def record_bench(name: str, entry: dict, key: str | None = None) -> list[dict]:
     """Append one run entry to ``benchmarks/BENCH_<name>.json``.
 
     The file holds a JSON array of the last :data:`BENCH_HISTORY` run
-    entries, newest last. Returns the history *before* this run so
-    callers can implement regression guards against the previous entry.
+    entries, newest last. With ``key``, the file keeps only the *latest*
+    entry per distinct ``entry[key]`` value (e.g. one record per
+    ``design``), so re-running a parameterized bench replaces its own
+    earlier record instead of accumulating duplicates. Returns the
+    history *before* this run so callers can implement regression guards
+    against the previous matching entry.
     """
     path = bench_json_path(name)
     history: list[dict] = []
     if path.exists():
         history = json.loads(path.read_text())
-    updated = (history + [entry])[-BENCH_HISTORY:]
+    kept = history
+    if key is not None:
+        kept = [e for e in history if e.get(key) != entry.get(key)]
+    updated = (kept + [entry])[-BENCH_HISTORY:]
     path.write_text(json.dumps(updated, indent=2) + "\n")
     return history
 

@@ -55,8 +55,10 @@ Commands:
   recover DIR                       rebuild this session from the crash-
                                     safety directory DIR (journal +
                                     snapshot store)
-  stats [--json]                    this ring's transport counters plus
-                                    the process metrics registry
+  stats [--json]                    this ring's transport counters, the
+                                    simulator plan-cache tiers (memory +
+                                    disk), and the process metrics
+                                    registry
   vti cache stats [--json]          VTI compile-cache hit/miss counters
   vti cache clear                   drop every cached compile artifact
   trace start|stop|status           control span tracing (off by default)
@@ -313,15 +315,28 @@ class ZoomieCli:
     def _cmd_stats(self, args: list[str]) -> str:
         if args not in ([], ["--json"]):
             raise ValueError("usage: stats [--json]")
+        from ..rtl import plan_cache_stats
         obs = get_observability()
         transport = self.debugger.fabric.transport.stats.as_dict()
+        plan_cache = plan_cache_stats()
         if args:
             return json.dumps(
-                {"transport": transport, "metrics": obs.stats()},
+                {"transport": transport, "metrics": obs.stats(),
+                 "sim_plan_cache": plan_cache},
                 indent=1, sort_keys=True)
         lines = ["transport (this session's JTAG ring):"]
         lines += [f"  {key} = {value:g}"
                   for key, value in sorted(transport.items())]
+        lines.append("sim plan cache:")
+        disk = plan_cache.pop("disk")
+        lines += [f"  {key} = {value}"
+                  for key, value in sorted(plan_cache.items())]
+        if disk.get("enabled"):
+            lines += [f"  disk.{key} = {value}"
+                      for key, value in sorted(disk.items())
+                      if key != "enabled"]
+        else:
+            lines.append("  disk tier disabled (ZOOMIE_PLAN_CACHE=off)")
         lines.append("process metrics:")
         lines += ["  " + line
                   for line in obs.metrics.summary().split("\n")]

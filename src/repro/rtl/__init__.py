@@ -30,6 +30,8 @@ from .builder import ModuleBuilder
 from .flatten import elaborate
 from .netlist import Netlist
 from ._codegen import clear_plan_cache, plan_cache_stats
+from .plan_store import set_plan_cache_dir
+from .batch import BatchSimulator
 from .simulator import (
     ENGINE_CLOSURES,
     ENGINE_FUSED,
@@ -44,6 +46,7 @@ __all__ = [
     "ENGINE_FUSED",
     "ENGINE_INTERPRETED",
     "ENGINES",
+    "BatchSimulator",
     "BinaryOp",
     "Concat",
     "Const",
@@ -70,5 +73,6 @@ __all__ = [
     "reduce_and",
     "reduce_or",
     "reduce_xor",
+    "set_plan_cache_dir",
     "write_vcd",
 ]

@@ -24,6 +24,20 @@ flow, VTI incremental runs, the benchmark suite) reuses codegen instead
 of recompiling. Plans snapshot the expressions they were built from, so
 in-place netlist mutation after a simulator was constructed (the
 instrumentation pass does this) cannot corrupt an already-cached plan.
+
+The cache has two tiers. The in-memory tier above lives for one process;
+beneath it, kernel *sources* persist on disk keyed by the same
+fingerprint (:mod:`repro.rtl.plan_store`), so a fresh process skips the
+expression-tree walks entirely and goes straight to ``compile()`` of the
+stored text. Sources — not code objects — are stored because generated
+text is stable across CPython versions and trivially verifiable, and any
+load defect degrades to a counted miss.
+
+A fourth tier rides on the same plans: bit-parallel *batched* kernels
+(:mod:`repro.rtl.batch`) that advance K independent runs per tick by
+packing one lane per run into each Python integer. Batch plans are
+reached through :meth:`CompiledPlan.batch_plan` so they share both cache
+tiers.
 """
 
 from __future__ import annotations
@@ -35,6 +49,7 @@ from typing import Callable, Optional
 
 from .._bits import mask
 from .expr import BinaryOp, Concat, Const, Expr, Mux, Ref, Repl, Slice, UnaryOp
+from .plan_store import get_plan_store
 
 _SIGNED_CMP = {"<s": "<", ">s": ">", "<=s": "<=", ">=s": ">="}
 
@@ -345,9 +360,14 @@ class _KernelBuilder:
             lines.append(f"{ind}{out} = {sample}")
 
 
-def _assemble(name: str, kb: _KernelBuilder, params: str,
-              body: list[str], loop: bool) -> Callable:
-    """Wrap a generated body in loads/stores and compile it."""
+def _kernel_source(name: str, kb: _KernelBuilder, params: str,
+                   body: list[str], loop: bool) -> str:
+    """Wrap a generated body in loads/stores; returns the full source.
+
+    The source is self-contained (it only needs ``min`` in its globals),
+    deterministic for a given plan structure, and therefore safe to
+    persist on disk keyed by the netlist fingerprint.
+    """
     lines = [f"def {name}({params}):"]
     for mem_name, local in kb.mem_of.items():
         lines.append(f"    {local} = mems[{mem_name!r}]")
@@ -360,9 +380,13 @@ def _assemble(name: str, kb: _KernelBuilder, params: str,
         lines.extend(body if body else ["    pass"])
     for sig_name in kb.stores:
         lines.append(f"    e[{sig_name!r}] = {kb.locals_of[sig_name]}")
+    return "\n".join(lines)
+
+
+def _materialize(source: str, name: str) -> Callable:
+    """Compile a kernel (or kernel module) source and pull out ``name``."""
     namespace: dict = {"min": min}
-    exec(compile("\n".join(lines), f"<rtl-{name}>", "exec"),  # noqa: S102
-         namespace)
+    exec(compile(source, f"<rtl-{name}>", "exec"), namespace)  # noqa: S102
     return namespace[name]
 
 
@@ -377,11 +401,22 @@ class CompiledPlan:
     Eagerly built: the fused settle kernel (used by every ``peek``).
     Lazily built: the closure tier (needed only when hooks force the
     general tick path, or when a simulator explicitly runs the
-    ``closures`` engine) and the per-domain-set tick/run kernels.
+    ``closures`` engine), the per-domain-set tick/run kernels, and the
+    per-lane-count batch plans.
+
+    ``sources`` seeds the kernel-source table from the disk tier: a
+    kernel whose key is present is materialized by compiling the stored
+    text instead of walking the expression trees. Freshly generated
+    sources are merged back to disk as lazy kernels come into existence.
     """
 
-    def __init__(self, netlist, fingerprint: Optional[str] = None):
+    def __init__(self, netlist, fingerprint: Optional[str] = None,
+                 sources: Optional[dict[str, str]] = None):
         self.fingerprint: str = fingerprint or netlist.fingerprint()
+        self._sources: dict[str, str] = dict(sources or {})
+        #: name -> width of every flat signal; batch codegen sizes its
+        #: lane stride from these (plans must not re-read the netlist).
+        self.signal_widths: dict[str, int] = dict(netlist.signals)
         order = netlist.comb_order()
         self.assigns: list[tuple[str, Expr]] = [
             (name, netlist.assigns[name]) for name in order
@@ -424,19 +459,50 @@ class CompiledPlan:
             name: (reg.width, reg.reset_value)
             for name, reg in self.regs.items()}
 
-        kb = _KernelBuilder(self)
-        body: list[str] = []
-        kb.emit_settle(body, "    ")
         #: Fused settle kernel ``settle(env, mems)`` with async memory
         #: read ports compiled in (the interpreted/closure tiers walk
         #: them with ``Expr.eval`` instead).
-        self.settle: Callable = _assemble("_settle", kb, "e, mems",
-                                          body, loop=False)
+        self.settle: Callable = self.kernel_from_source(
+            "settle", "_settle", self._settle_source)
 
         self._settle_block: Optional[Callable] = None
         self._closures = None
         self._tick_kernels: dict[tuple[str, ...], Callable] = {}
         self._run_kernels: dict[tuple[str, ...], Callable] = {}
+        self._batch_plans: dict[int, object] = {}
+
+    # -- kernel source management ------------------------------------------
+
+    def kernel_from_source(self, key: str, name: str,
+                           build: Callable[[], str]) -> Callable:
+        """Materialize the kernel ``key``, generating its source only if
+        neither this plan nor the disk tier already holds it.
+
+        A stored source that fails to compile (a CRC-valid file whose
+        body was damaged) is discarded as a counted defect and the
+        kernel is regenerated — never an error for the caller.
+        """
+        source = self._sources.get(key)
+        if source is not None:
+            try:
+                return _materialize(source, name)
+            except (SyntaxError, ValueError, KeyError, NameError):
+                del self._sources[key]
+                store = get_plan_store()
+                if store is not None:
+                    store.note_defect()
+        source = build()
+        self._sources[key] = source
+        store = get_plan_store()
+        if store is not None:
+            store.merge(self.fingerprint, {key: source})
+        return _materialize(source, name)
+
+    def _settle_source(self) -> str:
+        kb = _KernelBuilder(self)
+        body: list[str] = []
+        kb.emit_settle(body, "    ")
+        return _kernel_source("_settle", kb, "e, mems", body, loop=False)
 
     # -- closure tier (lazy) ----------------------------------------------
 
@@ -480,11 +546,15 @@ class CompiledPlan:
         """``tick(env, mems)``: one full edge of ``active`` domains."""
         kernel = self._tick_kernels.get(active)
         if kernel is None:
-            kb = _KernelBuilder(self)
-            body: list[str] = []
-            kb.emit_settle(body, "    ")
-            kb.emit_edge(body, "    ", active)
-            kernel = _assemble("_tick", kb, "e, mems", body, loop=False)
+            def build() -> str:
+                kb = _KernelBuilder(self)
+                body: list[str] = []
+                kb.emit_settle(body, "    ")
+                kb.emit_edge(body, "    ", active)
+                return _kernel_source("_tick", kb, "e, mems", body,
+                                      loop=False)
+            kernel = self.kernel_from_source(
+                "tick:" + "+".join(active), "_tick", build)
             self._tick_kernels[active] = kernel
         return kernel
 
@@ -494,13 +564,32 @@ class CompiledPlan:
         local variables for the whole run."""
         kernel = self._run_kernels.get(active)
         if kernel is None:
-            kb = _KernelBuilder(self)
-            body: list[str] = []
-            kb.emit_settle(body, "        ")
-            kb.emit_edge(body, "        ", active)
-            kernel = _assemble("_run", kb, "e, mems, n", body, loop=True)
+            def build() -> str:
+                kb = _KernelBuilder(self)
+                body: list[str] = []
+                kb.emit_settle(body, "        ")
+                kb.emit_edge(body, "        ", active)
+                return _kernel_source("_run", kb, "e, mems, n", body,
+                                      loop=True)
+            kernel = self.kernel_from_source(
+                "run:" + "+".join(active), "_run", build)
             self._run_kernels[active] = kernel
         return kernel
+
+    # -- batched (bit-parallel) tier ---------------------------------------
+
+    def batch_plan(self, lanes: int):
+        """The K-lane :class:`~repro.rtl.batch.BatchPlan` of this design.
+
+        Batch plans are cached per lane count and their kernel sources
+        live in the same two cache tiers as the scalar kernels (keys are
+        prefixed ``b<K>:``).
+        """
+        plan = self._batch_plans.get(lanes)
+        if plan is None:
+            from .batch import BatchPlan
+            plan = self._batch_plans[lanes] = BatchPlan(self, lanes)
+        return plan
 
 
 # ---------------------------------------------------------------------------
@@ -509,7 +598,7 @@ class CompiledPlan:
 
 _PLAN_CACHE: "OrderedDict[str, CompiledPlan]" = OrderedDict()
 _PLAN_CACHE_LIMIT = 64
-_PLAN_STATS = {"hits": 0, "misses": 0}
+_PLAN_STATS = {"hits": 0, "misses": 0, "evictions": 0}
 
 
 def compiled_plan_for(netlist) -> CompiledPlan:
@@ -517,7 +606,8 @@ def compiled_plan_for(netlist) -> CompiledPlan:
 
     The key is the structural fingerprint, so any netlist with identical
     execution semantics — including the same object re-elaborated, or
-    mutated and fingerprinted again — shares one plan.
+    mutated and fingerprinted again — shares one plan. A memory miss
+    falls through to the on-disk source store before paying codegen.
     """
     from ..obs import get_registry, get_tracer
     registry = get_registry()
@@ -530,27 +620,37 @@ def compiled_plan_for(netlist) -> CompiledPlan:
         return plan
     _PLAN_STATS["misses"] += 1
     registry.counter("sim.plan_cache.misses").inc()
+    store = get_plan_store()
+    sources = store.load(key) if store is not None else None
     with get_tracer().span("sim.plan_compile",
                            fingerprint=key[:12]) as span:
         start = perf_counter()
-        plan = CompiledPlan(netlist, fingerprint=key)
+        plan = CompiledPlan(netlist, fingerprint=key, sources=sources)
         elapsed = perf_counter() - start
         if span is not None:
             span.set(registers=len(netlist.registers),
-                     signals=len(netlist.signals))
+                     signals=len(netlist.signals),
+                     disk=sources is not None)
     registry.counter("sim.plan_compile_seconds").inc(elapsed)
     _PLAN_CACHE[key] = plan
     while len(_PLAN_CACHE) > _PLAN_CACHE_LIMIT:
         _PLAN_CACHE.popitem(last=False)
+        _PLAN_STATS["evictions"] += 1
+        registry.counter("sim.plan_cache.evictions").inc()
     return plan
 
 
-def plan_cache_stats() -> dict[str, int]:
-    """Hit/miss counters plus current size (for tests and benchmarks)."""
-    return {**_PLAN_STATS, "size": len(_PLAN_CACHE)}
+def plan_cache_stats() -> dict:
+    """Hit/miss/eviction counters for both cache tiers plus the current
+    in-memory size (for tests, benchmarks, and the CLI ``stats``)."""
+    store = get_plan_store()
+    return {**_PLAN_STATS, "size": len(_PLAN_CACHE),
+            "disk": store.stats_dict() if store is not None
+            else {"enabled": False}}
 
 
 def clear_plan_cache() -> None:
     _PLAN_CACHE.clear()
     _PLAN_STATS["hits"] = 0
     _PLAN_STATS["misses"] = 0
+    _PLAN_STATS["evictions"] = 0

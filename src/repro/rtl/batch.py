@@ -1,0 +1,1035 @@
+"""Bit-parallel batched simulation: K independent runs per kernel tick.
+
+The fused kernels (:mod:`repro.rtl._codegen`) already evaluate a whole
+design over unbounded Python integers; this module widens those integers
+so that *lane* ``i`` of every value carries run ``i`` of K independent
+simulations. One generated kernel tick then advances all K runs at once
+— SIMD-within-a-register, with Python's big integers as the register.
+
+Packing scheme
+--------------
+
+Every signal of width ``w`` is stored as a K-lane integer at a uniform
+lane stride ``S = max(width of any signal or expression node) + 1``:
+lane ``i`` of a signal occupies bits ``[i*S, i*S + w)``. The invariant
+maintained by every emitted operation is that each lane's field holds a
+value ``< 2**w`` and all bits between the field and the next lane base
+are zero. The one spare bit per lane (the ``+1``) is the carry/borrow
+guard that keeps ripple from crossing lanes:
+
+- ``a + b``             → ``(a + b) & M(w)``
+- ``a - b``             → ``((a | G(w)) - b) & M(w)``
+- ``-a``                → ``(G(w) - a) & M(w)``
+- per-lane nonzero      → ``((a + M(w)) >> w) & L``
+- unsigned ``a >= b``   → ``(((a | G(w)) - b) >> w) & L``
+- signed compares       → XOR both operands with ``repl(1 << (w-1))``
+  (offset-binary), then compare unsigned
+- mux                   → ``f ^ ((f ^ t) & (nz(sel) * mask(w)))``
+
+where ``M(w)``/``G(w)``/``L`` replicate ``mask(w)``/``1 << w``/``1``
+into every lane. Data-dependent shifts, multiplies, and XOR-reduces fall
+back to a per-lane loop inside a generated helper — still one kernel,
+just a slower op. Memory ports are inherently per-lane (addresses
+differ across runs), so memories are stored lane-major (one word list
+per lane) and ports loop over lanes.
+
+When batching is sound
+----------------------
+
+Lanes are *independent runs of the same netlist under one clock
+schedule*: same clock periods and phases, gating applies to all lanes,
+and there are no per-lane hooks. Anything needing per-run control flow
+(pause one run, hook another) belongs on a scalar
+:class:`~repro.rtl.simulator.Simulator` — use :meth:`BatchSimulator
+.extract_lane` to pull a run out into one. The differential suite pins
+every lane of a batched run bit-identical to its scalar twin.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .._bits import mask, truncate
+from ..errors import SimulationError, UnknownSignalError
+from ..obs import get_registry
+from ._codegen import (
+    _SIGNED_CMP, CompiledPlan, compiled_plan_for)
+from .expr import BinaryOp, Concat, Const, Expr, Mux, Ref, Repl, Slice, UnaryOp
+from .netlist import Netlist
+from .simulator import DEFAULT_PERIOD_PS, ClockDomain
+
+
+def _replicate(value: int, lanes: int, stride: int) -> int:
+    """``value`` copied into every lane of a packed integer."""
+    out = 0
+    for i in range(lanes):
+        out |= value << (i * stride)
+    return out
+
+
+def _plan_stride(plan: CompiledPlan) -> int:
+    """Lane stride for a plan: widest signal or expression node, plus
+    one guard bit. Uniform across the design so cross-signal ops line
+    up lane-for-lane."""
+    widest = 1
+    exprs: list[Expr] = [expr for _, expr in plan.assigns]
+    for width in plan.signal_widths.values():
+        widest = max(widest, width)
+    for reg in plan.regs.values():
+        widest = max(widest, reg.width)
+        exprs.extend(e for e in (reg.next, reg.enable, reg.reset) if e)
+    for memory in plan.memories:
+        widest = max(widest, memory.width)
+        for rport in memory.read_ports:
+            exprs.append(rport.addr)
+            if rport.enable is not None:
+                exprs.append(rport.enable)
+        for wport in memory.write_ports:
+            exprs.extend((wport.addr, wport.data, wport.enable))
+    for expr in exprs:
+        for node in expr.walk():
+            widest = max(widest, node.width)
+    return widest + 1
+
+
+# ---------------------------------------------------------------------------
+# lane-parallel code emission
+# ---------------------------------------------------------------------------
+
+class _BatchEmitter:
+    """Emits one batched kernel as straight-line statements.
+
+    Unlike the scalar tier's expression-composition (``_to_py``), every
+    compound node lands in its own single-assignment temp: the mux blend
+    references each arm twice, so textual composition would blow up
+    exponentially on mux chains. Temps are never reassigned, so any
+    ``t``/``B`` atom stays valid until the commit phase; signal locals
+    (``v``) are copied before being held across commits.
+    """
+
+    def __init__(self, plan: CompiledPlan, lanes: int, stride: int):
+        self.plan = plan
+        self.lanes = lanes
+        self.stride = stride
+        #: replicated-constant value -> hoisted module-level name.
+        self.consts: dict[int, str] = {}
+        #: helper function name -> its source (per-lane slow paths).
+        self.helpers: dict[str, str] = {}
+        self.locals_of: dict[str, str] = {}
+        self.mem_of: dict[str, str] = {}
+        self.stores: dict[str, None] = {}
+        self._tmp = 0
+        self.lsb = self.repl(1)
+
+    # -- atoms -------------------------------------------------------------
+
+    def sym(self, name: str) -> str:
+        local = self.locals_of.get(name)
+        if local is None:
+            local = self.locals_of[name] = f"v{len(self.locals_of)}"
+        return local
+
+    def mem(self, name: str) -> str:
+        local = self.mem_of.get(name)
+        if local is None:
+            local = self.mem_of[name] = f"m{len(self.mem_of)}"
+        return local
+
+    def temp(self) -> str:
+        self._tmp += 1
+        return f"t{self._tmp}"
+
+    def store(self, name: str) -> str:
+        self.stores[name] = None
+        return self.sym(name)
+
+    def const(self, value: int) -> str:
+        name = self.consts.get(value)
+        if name is None:
+            name = self.consts[value] = f"B{len(self.consts)}"
+        return name
+
+    def repl(self, value: int) -> str:
+        return self.const(_replicate(value, self.lanes, self.stride))
+
+    def rmask(self, width: int) -> str:
+        return self.repl(mask(width))
+
+    def snap(self, atom: str) -> tuple[str, Optional[str]]:
+        """An atom safe to hold across the commit phase. Signal locals
+        get copied into a temp (commits reassign them); temps and consts
+        are immutable already."""
+        if atom.startswith("v"):
+            t = self.temp()
+            return t, f"{t} = {atom}"
+        return atom, None
+
+    # -- lane-parallel building blocks -------------------------------------
+
+    def nz(self, atom: str, width: int, lines: list[str], ind: str) -> str:
+        """Per-lane nonzero flag (one bit at each lane base)."""
+        if width == 1:
+            return atom
+        t = self.temp()
+        lines.append(f"{ind}{t} = (({atom} + {self.rmask(width)}) "
+                     f">> {width}) & {self.lsb}")
+        return t
+
+    def smear(self, cond: str, width: int, lines: list[str],
+              ind: str) -> str:
+        """Widen per-lane condition bits to ``width``-wide lane masks
+        (the big-int multiply trick: lane fields cannot overlap, so the
+        product is a carry-free shifted sum)."""
+        if width == 1:
+            return cond
+        t = self.temp()
+        lines.append(f"{ind}{t} = {cond} * {hex(mask(width))}")
+        return t
+
+    def blend(self, cond_atom: str, cond_width: int, t_atom: str,
+              f_atom: str, width: int, lines: list[str], ind: str) -> str:
+        """Per-lane select: lanes where ``cond`` is nonzero take ``t``."""
+        c = self.nz(cond_atom, cond_width, lines, ind)
+        m = self.smear(c, width, lines, ind)
+        out = self.temp()
+        lines.append(
+            f"{ind}{out} = {f_atom} ^ (({f_atom} ^ {t_atom}) & {m})")
+        return out
+
+    def ge(self, a: str, b: str, width: int, lines: list[str],
+           ind: str) -> str:
+        """Per-lane unsigned ``a >= b`` flag."""
+        t = self.temp()
+        lines.append(f"{ind}{t} = ((({a} | {self.repl(1 << width)}) - {b}) "
+                     f">> {width}) & {self.lsb}")
+        return t
+
+    def lane_loop(self, lines: list[str], ind: str) -> str:
+        """Open a ``for`` over lanes; returns the shift-amount variable."""
+        lines.append(f"{ind}for _i in range({self.lanes}):")
+        lines.append(f"{ind}    _s = _i * {self.stride}")
+        return "_s"
+
+    # -- per-lane helper functions (slow-path ops) -------------------------
+
+    def helper(self, name: str, build: Callable[[], str]) -> str:
+        if name not in self.helpers:
+            self.helpers[name] = build()
+        return name
+
+    def _mul_helper(self, width: int) -> str:
+        name = f"_mul{width}"
+        m = hex(mask(width))
+
+        def build() -> str:
+            return "\n".join([
+                f"def {name}(a, b):",
+                "    r = 0",
+                f"    for i in range({self.lanes}):",
+                f"        s = i * {self.stride}",
+                f"        r |= ((((a >> s) & {m}) * ((b >> s) & {m}))"
+                f" & {m}) << s",
+                "    return r",
+            ])
+        return self.helper(name, build)
+
+    def _shift_helper(self, op: str, width: int, b_width: int) -> str:
+        kind = {"<<": "shl", ">>": "shr"}[op]
+        name = f"_{kind}{width}_{b_width}"
+        m, mb = hex(mask(width)), hex(mask(b_width))
+        apply = (f"(((av << bv) & {m}) << s)" if op == "<<"
+                 else "((av >> bv) << s)")
+
+        def build() -> str:
+            return "\n".join([
+                f"def {name}(a, b):",
+                "    r = 0",
+                f"    for i in range({self.lanes}):",
+                f"        s = i * {self.stride}",
+                f"        bv = (b >> s) & {mb}",
+                f"        if bv < {width}:",
+                f"            av = (a >> s) & {m}",
+                f"            r |= {apply}",
+                "    return r",
+            ])
+        return self.helper(name, build)
+
+    def _sra_helper(self, width: int, b_width: int) -> str:
+        name = f"_sra{width}_{b_width}"
+        m, mb = hex(mask(width)), hex(mask(b_width))
+
+        def build() -> str:
+            return "\n".join([
+                f"def {name}(a, b):",
+                "    r = 0",
+                f"    for i in range({self.lanes}):",
+                f"        s = i * {self.stride}",
+                f"        av = (a >> s) & {m}",
+                f"        bv = (b >> s) & {mb}",
+                f"        if av & {hex(1 << (width - 1))}:",
+                f"            av -= {hex(1 << width)}",
+                f"        r |= ((av >> (bv if bv < {width} else {width}))"
+                f" & {m}) << s",
+                "    return r",
+            ])
+        return self.helper(name, build)
+
+    def _rxor_helper(self, width: int) -> str:
+        name = f"_rxor{width}"
+        m = hex(mask(width))
+
+        def build() -> str:
+            return "\n".join([
+                f"def {name}(a):",
+                "    r = 0",
+                f"    for i in range({self.lanes}):",
+                f"        s = i * {self.stride}",
+                f"        r |= (((a >> s) & {m}).bit_count() & 1) << s",
+                "    return r",
+            ])
+        return self.helper(name, build)
+
+    # -- expression emission -----------------------------------------------
+
+    def emit(self, expr: Expr, lines: list[str], ind: str) -> str:
+        """Emit statements computing ``expr`` for all lanes; returns the
+        atom (temp/const/local) holding the packed result."""
+        if isinstance(expr, Const):
+            return self.repl(expr.value)
+        if isinstance(expr, Ref):
+            return self.sym(expr.name)
+        if isinstance(expr, UnaryOp):
+            return self._emit_unary(expr, lines, ind)
+        if isinstance(expr, BinaryOp):
+            return self._emit_binary(expr, lines, ind)
+        if isinstance(expr, Mux):
+            sel = self.emit(expr.sel, lines, ind)
+            t = self.emit(expr.if_true, lines, ind)
+            f = self.emit(expr.if_false, lines, ind)
+            return self.blend(sel, expr.sel.width, t, f, expr.width,
+                              lines, ind)
+        if isinstance(expr, Slice):
+            a = self.emit(expr.a, lines, ind)
+            out = self.temp()
+            if expr.low == 0:
+                lines.append(f"{ind}{out} = {a} & {self.rmask(expr.width)}")
+            else:
+                lines.append(f"{ind}{out} = ({a} >> {expr.low}) "
+                             f"& {self.rmask(expr.width)}")
+            return out
+        if isinstance(expr, Concat):
+            acc = None
+            for part in expr.parts:
+                p = self.emit(part, lines, ind)
+                piece = f"({p} & {self.rmask(part.width)})"
+                t = self.temp()
+                if acc is None:
+                    lines.append(f"{ind}{t} = {piece}")
+                else:
+                    lines.append(
+                        f"{ind}{t} = ({acc} << {part.width}) | {piece}")
+                acc = t
+            return acc or "0"
+        if isinstance(expr, Repl):
+            a = self.emit(expr.a, lines, ind)
+            piece = f"({a} & {self.rmask(expr.a.width)})"
+            acc = None
+            for _ in range(expr.times):
+                t = self.temp()
+                if acc is None:
+                    lines.append(f"{ind}{t} = {piece}")
+                else:
+                    lines.append(
+                        f"{ind}{t} = ({acc} << {expr.a.width}) | {piece}")
+                acc = t
+            return acc or "0"
+        raise AssertionError(
+            f"unhandled expression node {type(expr).__name__}")
+
+    def _emit_unary(self, expr: UnaryOp, lines: list[str], ind: str) -> str:
+        a = self.emit(expr.a, lines, ind)
+        width = expr.a.width
+        op = expr.op
+        if op == "~":
+            out = self.temp()
+            lines.append(f"{ind}{out} = {a} ^ {self.rmask(width)}")
+            return out
+        if op == "-":
+            out = self.temp()
+            lines.append(f"{ind}{out} = ({self.repl(1 << width)} - {a}) "
+                         f"& {self.rmask(width)}")
+            return out
+        if op == "!":
+            flag = self.nz(a, width, lines, ind)
+            out = self.temp()
+            lines.append(f"{ind}{out} = {flag} ^ {self.lsb}")
+            return out
+        if op == "r|":
+            return self.nz(a, width, lines, ind)
+        if op == "r&":
+            if width == 1:
+                return a
+            inv = self.temp()
+            lines.append(f"{ind}{inv} = {a} ^ {self.rmask(width)}")
+            flag = self.nz(inv, width, lines, ind)
+            out = self.temp()
+            lines.append(f"{ind}{out} = {flag} ^ {self.lsb}")
+            return out
+        # r^
+        if width == 1:
+            return a
+        out = self.temp()
+        lines.append(f"{ind}{out} = {self._rxor_helper(width)}({a})")
+        return out
+
+    def _emit_binary(self, expr: BinaryOp, lines: list[str],
+                     ind: str) -> str:
+        op = expr.op
+        width = expr.width
+        in_width = expr.a.width
+        # Constant shift amounts keep the fast carry-free path; anything
+        # data-dependent goes through a per-lane helper.
+        if op in ("<<", ">>") and isinstance(expr.b, Const):
+            shift = expr.b.value
+            a = self.emit(expr.a, lines, ind)
+            if shift == 0:
+                return a
+            out = self.temp()
+            if shift >= width:
+                lines.append(f"{ind}{out} = 0")
+            elif op == "<<":
+                lines.append(f"{ind}{out} = ({a} "
+                             f"& {self.rmask(width - shift)}) << {shift}")
+            else:
+                lines.append(f"{ind}{out} = ({a} >> {shift}) "
+                             f"& {self.rmask(width - shift)}")
+            return out
+        a = self.emit(expr.a, lines, ind)
+        b = self.emit(expr.b, lines, ind)
+        if op in ("&", "|", "^"):
+            out = self.temp()
+            lines.append(f"{ind}{out} = {a} {op} {b}")
+            return out
+        if op == "&&":  # 1-bit operands by construction (expr.py)
+            out = self.temp()
+            lines.append(f"{ind}{out} = {a} & {b}")
+            return out
+        if op == "||":
+            out = self.temp()
+            lines.append(f"{ind}{out} = {a} | {b}")
+            return out
+        if op == "+":
+            out = self.temp()
+            lines.append(f"{ind}{out} = ({a} + {b}) & {self.rmask(width)}")
+            return out
+        if op == "-":
+            out = self.temp()
+            lines.append(f"{ind}{out} = (({a} | {self.repl(1 << width)}) "
+                         f"- {b}) & {self.rmask(width)}")
+            return out
+        if op == "*":
+            out = self.temp()
+            lines.append(f"{ind}{out} = {self._mul_helper(width)}"
+                         f"({a}, {b})")
+            return out
+        if op in ("<<", ">>"):
+            helper = self._shift_helper(op, width, expr.b.width)
+            out = self.temp()
+            lines.append(f"{ind}{out} = {helper}({a}, {b})")
+            return out
+        if op == ">>>":
+            helper = self._sra_helper(in_width, expr.b.width)
+            out = self.temp()
+            lines.append(f"{ind}{out} = {helper}({a}, {b})")
+            return out
+        if op == "==":
+            diff = self.temp()
+            lines.append(f"{ind}{diff} = {a} ^ {b}")
+            flag = self.nz(diff, in_width, lines, ind)
+            out = self.temp()
+            lines.append(f"{ind}{out} = {flag} ^ {self.lsb}")
+            return out
+        if op == "!=":
+            diff = self.temp()
+            lines.append(f"{ind}{diff} = {a} ^ {b}")
+            return self.nz(diff, in_width, lines, ind)
+        if op in _SIGNED_CMP:
+            sign = self.repl(1 << (in_width - 1))
+            sa, sb = self.temp(), self.temp()
+            lines.append(f"{ind}{sa} = {a} ^ {sign}")
+            lines.append(f"{ind}{sb} = {b} ^ {sign}")
+            a, b = sa, sb
+            op = _SIGNED_CMP[op]
+        if op == ">=":
+            return self.ge(a, b, in_width, lines, ind)
+        if op == "<=":
+            return self.ge(b, a, in_width, lines, ind)
+        if op == "<":
+            flag = self.ge(a, b, in_width, lines, ind)
+            out = self.temp()
+            lines.append(f"{ind}{out} = {flag} ^ {self.lsb}")
+            return out
+        if op == ">":
+            flag = self.ge(b, a, in_width, lines, ind)
+            out = self.temp()
+            lines.append(f"{ind}{out} = {flag} ^ {self.lsb}")
+            return out
+        raise AssertionError(f"unhandled binary op {op!r}")
+
+    # -- kernel body fragments ---------------------------------------------
+
+    def emit_async_reads(self, lines: list[str], ind: str) -> None:
+        """Combinational read ports: per-lane gather (addresses differ
+        across lanes), same memory/port order as the scalar tiers."""
+        for memory in self.plan.memories:
+            for port in memory.read_ports:
+                if port.sync:
+                    continue
+                addr = self.emit(port.addr, lines, ind)
+                out = self.store(port.name)
+                lines.append(f"{ind}{out} = 0")
+                sh = self.lane_loop(lines, ind)
+                inner = ind + "    "
+                lines.append(f"{inner}_a = ({addr} >> {sh}) "
+                             f"& {hex(mask(port.addr.width))}")
+                lines.append(
+                    f"{inner}if _a < {memory.depth}:")
+                lines.append(f"{inner}    {out} |= "
+                             f"{self.mem(memory.name)}[_i][_a] << {sh}")
+
+    def emit_settle(self, lines: list[str], ind: str) -> None:
+        self.emit_async_reads(lines, ind)
+        for name, expr in self.plan.assigns:
+            atom = self.emit(expr, lines, ind)
+            lines.append(f"{ind}{self.store(name)} = {atom}")
+        self.emit_async_reads(lines, ind)
+
+    def emit_edge(self, lines: list[str], ind: str,
+                  active: tuple[str, ...]) -> None:
+        """Sample-and-commit for one edge, lane-parallel.
+
+        Group ordering matches the scalar tiers exactly — register
+        samples, write-port samples, sync-read samples (read-before-
+        write), then the three commit groups — so cross-checking a lane
+        against a scalar run is bit-exact.
+        """
+        reg_commits: list[tuple[str, str]] = []
+        for domain in active:
+            for reg_name in self.plan.regs_by_domain.get(domain, ()):
+                reg = self.plan.regs[reg_name]
+                if reg.next is None and reg.reset is None:
+                    continue
+                value = self.sym(reg_name)
+                if reg.next is not None:
+                    nxt = self.emit(reg.next, lines, ind)
+                    if reg.next.width != reg.width:
+                        masked = self.temp()
+                        lines.append(f"{ind}{masked} = {nxt} "
+                                     f"& {self.rmask(reg.width)}")
+                        nxt = masked
+                else:
+                    nxt = value
+                if reg.reset is not None:
+                    rv = self.repl(truncate(reg.reset_value, reg.width))
+                    rst = self.emit(reg.reset, lines, ind)
+                    nxt = self.blend(rst, reg.reset.width, rv, nxt,
+                                     reg.width, lines, ind)
+                if reg.enable is not None:
+                    en = self.emit(reg.enable, lines, ind)
+                    sample = self.blend(en, reg.enable.width, nxt, value,
+                                        reg.width, lines, ind)
+                else:
+                    sample, copy = self.snap(nxt)
+                    if copy is not None:
+                        lines.append(f"{ind}{copy}")
+                self.stores[reg_name] = None
+                reg_commits.append((value, sample))
+
+        write_commits: list[tuple] = []
+        read_commits: list[tuple[str, str]] = []
+        for domain in active:
+            for kind, memory, port in self.plan.port_plans.get(domain, ()):
+                if kind == "w":
+                    en = self.emit(port.enable, lines, ind)
+                    addr = self.emit(port.addr, lines, ind)
+                    data = self.emit(port.data, lines, ind)
+                    write_commits.append(
+                        (self.mem(memory.name),
+                         self.snap_now(en, lines, ind),
+                         port.enable.width,
+                         self.snap_now(addr, lines, ind), port.addr.width,
+                         self.snap_now(data, lines, ind),
+                         memory.width, memory.depth))
+                else:
+                    out = self.store(port.name)
+                    en = (self.emit(port.enable, lines, ind)
+                          if port.enable is not None else None)
+                    addr = self.emit(port.addr, lines, ind)
+                    sample = self.temp()
+                    lines.append(f"{ind}{sample} = {out}")
+                    sh = self.lane_loop(lines, ind)
+                    inner = ind + "    "
+                    if en is not None:
+                        lines.append(f"{inner}if ({en} >> {sh}) "
+                                     f"& {hex(mask(port.enable.width))}:")
+                        inner += "    "
+                    lines.append(f"{inner}_a = ({addr} >> {sh}) "
+                                 f"& {hex(mask(port.addr.width))}")
+                    lines.append(
+                        f"{inner}_v = {self.mem(memory.name)}[_i][_a] "
+                        f"if _a < {memory.depth} else 0")
+                    lines.append(
+                        f"{inner}{sample} = ({sample} "
+                        f"& ~({hex(mask(memory.width))} << {sh})) "
+                        f"| (_v << {sh})")
+                    read_commits.append((out, sample))
+
+        for value, sample in reg_commits:
+            lines.append(f"{ind}{value} = {sample}")
+        for (mem_local, en, en_w, addr, addr_w, data,
+             mem_w, depth) in write_commits:
+            sh = self.lane_loop(lines, ind)
+            inner = ind + "    "
+            lines.append(f"{inner}if ({en} >> {sh}) & {hex(mask(en_w))}:")
+            lines.append(f"{inner}    _a = ({addr} >> {sh}) "
+                         f"& {hex(mask(addr_w))}")
+            lines.append(f"{inner}    if _a < {depth}:")
+            lines.append(f"{inner}        {mem_local}[_i][_a] = "
+                         f"({data} >> {sh}) & {hex(mask(mem_w))}")
+        for out, sample in read_commits:
+            lines.append(f"{ind}{out} = {sample}")
+
+    def snap_now(self, atom: str, lines: list[str], ind: str) -> str:
+        atom, copy = self.snap(atom)
+        if copy is not None:
+            lines.append(f"{ind}{copy}")
+        return atom
+
+    # -- kernel module assembly --------------------------------------------
+
+    def module_source(self, name: str, params: str, body: list[str],
+                      loop: bool) -> str:
+        """A self-contained module: hoisted lane constants, per-lane
+        helper functions, then the kernel wrapped in loads/stores."""
+        lines: list[str] = []
+        for value, const_name in self.consts.items():
+            lines.append(f"{const_name} = {hex(value)}")
+        for helper_source in self.helpers.values():
+            lines.append(helper_source)
+        lines.append(f"def {name}({params}):")
+        for mem_name, local in self.mem_of.items():
+            lines.append(f"    {local} = mems[{mem_name!r}]")
+        for sig_name, local in self.locals_of.items():
+            lines.append(f"    {local} = e[{sig_name!r}]")
+        if loop:
+            lines.append("    for _ in range(n):")
+            lines.extend(body if body else ["        pass"])
+        else:
+            lines.extend(body if body else ["    pass"])
+        for sig_name in self.stores:
+            lines.append(f"    e[{sig_name!r}] = {self.locals_of[sig_name]}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# batch plans
+# ---------------------------------------------------------------------------
+
+class BatchPlan:
+    """K-lane kernels of one :class:`CompiledPlan`.
+
+    Reached through :meth:`CompiledPlan.batch_plan`, so batch kernels
+    share the plan's fingerprint-keyed memory cache and disk store
+    (source keys ``b<K>:settle``, ``b<K>:tick:<domains>``, ...).
+    """
+
+    def __init__(self, plan: CompiledPlan, lanes: int):
+        if lanes < 1:
+            raise SimulationError(
+                f"batch lane count must be positive, got {lanes}")
+        self.plan = plan
+        self.lanes = lanes
+        self.stride = _plan_stride(plan)
+        self._tick_kernels: dict[tuple[str, ...], Callable] = {}
+        self._run_kernels: dict[tuple[str, ...], Callable] = {}
+        self.settle: Callable = plan.kernel_from_source(
+            f"b{lanes}:settle", "_settle",
+            lambda: self._source("_settle", "e, mems", None, loop=False))
+
+    def _source(self, name: str, params: str,
+                active: Optional[tuple[str, ...]], loop: bool) -> str:
+        em = _BatchEmitter(self.plan, self.lanes, self.stride)
+        body: list[str] = []
+        ind = "        " if loop else "    "
+        em.emit_settle(body, ind)
+        if active is not None:
+            em.emit_edge(body, ind, active)
+        return em.module_source(name, params, body, loop)
+
+    def tick_kernel(self, active: tuple[str, ...]) -> Callable:
+        kernel = self._tick_kernels.get(active)
+        if kernel is None:
+            kernel = self.plan.kernel_from_source(
+                f"b{self.lanes}:tick:" + "+".join(active), "_tick",
+                lambda: self._source("_tick", "e, mems", active,
+                                     loop=False))
+            self._tick_kernels[active] = kernel
+        return kernel
+
+    def run_kernel(self, active: tuple[str, ...]) -> Callable:
+        kernel = self._run_kernels.get(active)
+        if kernel is None:
+            kernel = self.plan.kernel_from_source(
+                f"b{self.lanes}:run:" + "+".join(active), "_run",
+                lambda: self._source("_run", "e, mems, n", active,
+                                     loop=True))
+            self._run_kernels[active] = kernel
+        return kernel
+
+
+# ---------------------------------------------------------------------------
+# the batched simulator
+# ---------------------------------------------------------------------------
+
+class BatchSimulator:
+    """Advances K independent runs of one netlist per kernel tick.
+
+    The clock schedule (periods, phases, gating) is shared by all lanes;
+    stimuli, state, and memories are per-lane. There are no hooks and no
+    engine choice — batch always runs generated kernels; anything that
+    needs per-edge observability belongs on a scalar simulator.
+
+    Lanes interoperate with :class:`~repro.rtl.simulator.Simulator`
+    snapshots in both directions: :meth:`extract_lane` produces a dict
+    ``Simulator.restore`` accepts, and :meth:`inject_lane` loads one.
+    """
+
+    def __init__(self, netlist: Netlist, lanes: int,
+                 clocks: Optional[dict[str, int]] = None):
+        plan = compiled_plan_for(netlist)
+        self._bplan = plan.batch_plan(lanes)
+        self._plan = plan
+        self.netlist = netlist
+        self.lanes = lanes
+        self.stride = self._bplan.stride
+        clocks = dict(clocks or {})
+        self.domains: dict[str, ClockDomain] = {}
+        for domain in sorted(netlist.clock_domains() | set(clocks)):
+            self.domains[domain] = ClockDomain(
+                name=domain, period_ps=clocks.get(domain, DEFAULT_PERIOD_PS))
+        self.time_ps = 0
+
+        self.env: dict[str, int] = {}
+        for name in netlist.signals:
+            self.env[name] = 0
+        for name, reg in netlist.registers.items():
+            self.env[name] = _replicate(
+                truncate(reg.init, reg.width), lanes, self.stride)
+        self.memories: dict[str, list[list[int]]] = {}
+        for name, memory in netlist.memories.items():
+            words = [0] * memory.depth
+            for addr, value in memory.init.items():
+                words[addr] = truncate(value, memory.width)
+            self.memories[name] = [list(words) for _ in range(lanes)]
+
+        registry = get_registry()
+        registry.gauge("sim.batch_lanes").set(lanes)
+        self._m_runs = registry.counter("sim.batch.runs")
+        self._m_lane_ticks = registry.counter("sim.batch.lane_ticks")
+        self._dirty = True
+
+    # -- lane addressing ---------------------------------------------------
+
+    def _check_lane(self, lane: int) -> None:
+        if not 0 <= lane < self.lanes:
+            raise SimulationError(
+                f"lane {lane} out of range 0..{self.lanes - 1}")
+
+    def _get_lane(self, name: str, lane: int) -> int:
+        return (self.env[name] >> (lane * self.stride)) \
+            & mask(self.netlist.width(name))
+
+    def _set_lane(self, name: str, lane: int, value: int) -> None:
+        width = self.netlist.width(name)
+        shift = lane * self.stride
+        self.env[name] = ((self.env[name] & ~(mask(width) << shift))
+                          | (truncate(value, width) << shift))
+
+    # -- value access ------------------------------------------------------
+
+    def poke(self, name: str, value: int,
+             lane: Optional[int] = None) -> None:
+        """Drive a top-level input on one lane, or on all lanes."""
+        if name not in self.netlist.inputs:
+            raise SimulationError(
+                f"{name!r} is not a top-level input; use force() for state")
+        width = self.netlist.width(name)
+        if lane is None:
+            self.env[name] = _replicate(
+                truncate(value, width), self.lanes, self.stride)
+        else:
+            self._check_lane(lane)
+            self._set_lane(name, lane, value)
+        self._dirty = True
+
+    def peek(self, name: str, lane: Optional[int] = None):
+        """A signal's settled value on one lane, or a list across all."""
+        if name not in self.env:
+            raise UnknownSignalError(f"unknown signal {name!r}")
+        self._settle()
+        if lane is None:
+            return [self._get_lane(name, i) for i in range(self.lanes)]
+        self._check_lane(lane)
+        return self._get_lane(name, lane)
+
+    def force(self, name: str, value: int,
+              lane: Optional[int] = None) -> None:
+        """Overwrite a register (or sync read-port latch) value."""
+        if name not in self.netlist.registers \
+                and name not in self.netlist.sync_read_outputs():
+            raise SimulationError(
+                f"{name!r} is not a register; poke() inputs, "
+                f"write_memory() memories")
+        width = self.netlist.width(name)
+        if lane is None:
+            self.env[name] = _replicate(
+                truncate(value, width), self.lanes, self.stride)
+        else:
+            self._check_lane(lane)
+            self._set_lane(name, lane, value)
+        self._dirty = True
+
+    def read_memory(self, name: str, addr: int, lane: int) -> int:
+        self._check_lane(lane)
+        self._check_addr(name, addr)
+        return self.memories[name][lane][addr]
+
+    def write_memory(self, name: str, addr: int, value: int,
+                     lane: Optional[int] = None) -> None:
+        self._check_addr(name, addr)
+        value = truncate(value, self.netlist.memories[name].width)
+        if lane is None:
+            for words in self.memories[name]:
+                words[addr] = value
+        else:
+            self._check_lane(lane)
+            self.memories[name][lane][addr] = value
+        self._dirty = True
+
+    def _check_addr(self, name: str, addr: int) -> None:
+        memory = self.netlist.memories.get(name)
+        if memory is None:
+            raise UnknownSignalError(f"unknown memory {name!r}")
+        if not 0 <= addr < memory.depth:
+            raise SimulationError(
+                f"memory {name!r}: address {addr} out of range "
+                f"0..{memory.depth - 1}")
+
+    # -- clocking ----------------------------------------------------------
+
+    def set_clock_gate(self, domain: str, gated: bool) -> None:
+        """Gate a domain — for *all* lanes; lanes share one schedule."""
+        self._domain(domain).gated = gated
+
+    def is_gated(self, domain: str) -> bool:
+        return self._domain(domain).gated
+
+    def cycles(self, domain: str = "clk") -> int:
+        return self._domain(domain).cycles
+
+    def _domain(self, name: str) -> ClockDomain:
+        try:
+            return self.domains[name]
+        except KeyError:
+            raise SimulationError(f"unknown clock domain {name!r}") from None
+
+    # -- stepping ----------------------------------------------------------
+
+    def _settle(self) -> None:
+        if self._dirty:
+            self._bplan.settle(self.env, self.memories)
+            self._dirty = False
+
+    def step(self, cycles: int = 1, domain: Optional[str] = None) -> None:
+        """Advance all lanes; same stepping semantics as the scalar
+        :meth:`Simulator.step`, minus hooks."""
+        if cycles < 0:
+            raise SimulationError("cannot step a negative number of cycles")
+        self._m_runs.inc()
+        self._m_lane_ticks.inc(cycles * self.lanes)
+        if domain is not None:
+            dom = self._domain(domain)
+            if cycles and not dom.gated:
+                self._run((domain,), cycles, advance_time=False)
+                return
+            for _ in range(cycles):
+                self._tick(frozenset({domain}))
+            return
+        if cycles and not any(d.gated for d in self.domains.values()) \
+                and len({(d.period_ps, d.next_edge_ps)
+                         for d in self.domains.values()}) == 1:
+            self._run(tuple(self.domains), cycles, advance_time=True)
+            return
+        for _ in range(cycles):
+            self._advance_one_event()
+
+    def run_to_time(self, time_ps: int) -> None:
+        if not self.domains:
+            raise SimulationError(
+                "design has no clock domains; nothing can advance time")
+        while min(d.next_edge_ps for d in self.domains.values()) <= time_ps:
+            self._advance_one_event()
+
+    def _run(self, active: tuple[str, ...], cycles: int,
+             advance_time: bool) -> None:
+        self._bplan.run_kernel(tuple(sorted(active)))(
+            self.env, self.memories, cycles)
+        for name in active:
+            dom = self.domains[name]
+            dom.cycles += cycles
+            dom.edges_seen += cycles
+            if advance_time:
+                dom.next_edge_ps += cycles * dom.period_ps
+        if advance_time:
+            dom = next(iter(self.domains.values()))
+            self.time_ps = dom.next_edge_ps - dom.period_ps
+        self._dirty = True
+
+    def _advance_one_event(self) -> None:
+        if not self.domains:
+            raise SimulationError(
+                "design has no clock domains; nothing can advance time")
+        event_time = min(d.next_edge_ps for d in self.domains.values())
+        ticking = frozenset(
+            name for name, d in self.domains.items()
+            if d.next_edge_ps == event_time)
+        self.time_ps = event_time
+        for name in ticking:
+            dom = self.domains[name]
+            dom.next_edge_ps += dom.period_ps
+        self._tick(ticking)
+
+    def _tick(self, ticking: frozenset[str]) -> None:
+        active = []
+        for name in sorted(ticking):
+            dom = self._domain(name)
+            dom.edges_seen += 1
+            if not dom.gated:
+                active.append(name)
+                dom.cycles += 1
+        if not active:
+            return
+        self._bplan.tick_kernel(tuple(active))(self.env, self.memories)
+        self._dirty = True
+
+    # -- snapshot / lane interop -------------------------------------------
+
+    def _clock_state(self) -> dict:
+        return {
+            name: {
+                "cycles": d.cycles,
+                "edges_seen": d.edges_seen,
+                "next_edge_ps": d.next_edge_ps,
+                "gated": d.gated,
+            }
+            for name, d in self.domains.items()}
+
+    def snapshot(self) -> dict:
+        """All lanes' architectural state, packed (batch-native)."""
+        self._settle()
+        sync_outs = list(self.netlist.sync_read_outputs())
+        return {
+            "lanes": self.lanes,
+            "stride": self.stride,
+            "registers": {
+                name: self.env[name] for name in self.netlist.registers},
+            "memories": {
+                name: [list(words) for words in per_lane]
+                for name, per_lane in self.memories.items()},
+            "inputs": {name: self.env[name] for name in self.netlist.inputs},
+            "read_ports": {name: self.env[name] for name in sync_outs},
+            "time_ps": self.time_ps,
+            "cycles": {name: d.cycles for name, d in self.domains.items()},
+            "clocks": self._clock_state(),
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        if snapshot.get("lanes") != self.lanes \
+                or snapshot.get("stride") != self.stride:
+            raise SimulationError(
+                f"snapshot shape {snapshot.get('lanes')}x"
+                f"{snapshot.get('stride')} does not match this simulator "
+                f"({self.lanes}x{self.stride})")
+        for name, value in snapshot["registers"].items():
+            if name not in self.netlist.registers:
+                raise SimulationError(
+                    f"snapshot register {name!r} not in design")
+            self.env[name] = value
+        for name, per_lane in snapshot["memories"].items():
+            if name not in self.memories:
+                raise SimulationError(
+                    f"snapshot memory {name!r} not in design")
+            for lane, words in enumerate(per_lane):
+                self.memories[name][lane][:] = words
+        for name, value in snapshot["inputs"].items():
+            self.env[name] = value
+        for name, value in snapshot.get("read_ports", {}).items():
+            if name in self.env:
+                self.env[name] = value
+        self.time_ps = snapshot["time_ps"]
+        for name, state in snapshot["clocks"].items():
+            if name not in self.domains:
+                continue
+            dom = self.domains[name]
+            dom.cycles = state["cycles"]
+            dom.edges_seen = state["edges_seen"]
+            dom.next_edge_ps = state["next_edge_ps"]
+            dom.gated = state["gated"]
+        self._dirty = True
+
+    def extract_lane(self, lane: int) -> dict:
+        """One lane's state as a *scalar* snapshot — the exact dict
+        :meth:`Simulator.snapshot` produces, so ``Simulator.restore``
+        can resume this run on a scalar simulator."""
+        self._check_lane(lane)
+        self._settle()
+        return {
+            "registers": {
+                name: self._get_lane(name, lane)
+                for name in self.netlist.registers},
+            "memories": {
+                name: list(per_lane[lane])
+                for name, per_lane in self.memories.items()},
+            "inputs": {
+                name: self._get_lane(name, lane)
+                for name in self.netlist.inputs},
+            "read_ports": {
+                name: self._get_lane(name, lane)
+                for name in self.netlist.sync_read_outputs()},
+            "time_ps": self.time_ps,
+            "cycles": {name: d.cycles for name, d in self.domains.items()},
+            "clocks": self._clock_state(),
+        }
+
+    def inject_lane(self, lane: int, snapshot: dict) -> None:
+        """Load a scalar snapshot into one lane. Per-lane state only:
+        clock bookkeeping is shared and left untouched (all lanes must
+        already follow the same schedule)."""
+        self._check_lane(lane)
+        for name, value in snapshot["registers"].items():
+            if name not in self.netlist.registers:
+                raise SimulationError(
+                    f"snapshot register {name!r} not in design")
+            self._set_lane(name, lane, value)
+        for name, words in snapshot["memories"].items():
+            if name not in self.memories:
+                raise SimulationError(
+                    f"snapshot memory {name!r} not in design")
+            self.memories[name][lane][:] = words
+        for name, value in snapshot["inputs"].items():
+            if name in self.netlist.inputs:
+                self._set_lane(name, lane, value)
+        for name, value in snapshot.get("read_ports", {}).items():
+            if name in self.env:
+                self._set_lane(name, lane, value)
+        self._dirty = True

@@ -1,0 +1,268 @@
+"""Persistent on-disk tier of the compiled-plan cache.
+
+The in-memory plan cache (``rtl._codegen._PLAN_CACHE``) removes repeat
+codegen *within* a process, but every fresh process still paid the full
+expression-walk + ``compile()`` cost for each design it touched. This
+module persists the *generated kernel sources* — the deterministic
+output of codegen for a given structural :meth:`Netlist.fingerprint` —
+so a cold process warm-starts by compiling stored text instead of
+re-deriving it from the expression trees.
+
+Storage follows the CRC-framed pattern of the VTI ``CompileCache`` disk
+tier (PR 5) and the ``SnapshotStore`` (PR 3): one file per fingerprint
+containing a ``magic length crc32`` header over a JSON body, written
+atomically via temp-file + rename. **Any load defect — bad magic, short
+read, CRC mismatch, foreign fingerprint, stale codegen version — is a
+counted miss, never an error**: the caller simply regenerates and
+overwrites the bad entry, so the cache self-heals.
+
+The store location is resolved once per process:
+
+- ``ZOOMIE_PLAN_CACHE=<dir>`` — use ``<dir>``;
+- ``ZOOMIE_PLAN_CACHE=off`` (or ``0``/``no``/``none``/empty) — disable
+  the disk tier (memory-only, the pre-PR-6 behaviour);
+- unset — ``$XDG_CACHE_HOME/zoomie/plans`` (``~/.cache/zoomie/plans``).
+
+Tests and benchmarks redirect it programmatically with
+:func:`set_plan_cache_dir`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Optional
+
+from ..obs import get_registry
+
+#: Header magic of every stored plan file.
+PLAN_MAGIC = "zoomie-plan-v1"
+#: Filename suffix of stored entries.
+SUFFIX = ".plan"
+#: Schema version of the *generated code* itself. Bump whenever codegen
+#: output changes semantically so stale entries from older builds read
+#: as misses instead of resurrecting old kernel behaviour.
+CODEGEN_VERSION = 1
+#: Plan files kept on disk before oldest-first eviction.
+DEFAULT_DISK_LIMIT = 128
+#: Environment knob (see module docstring).
+ENV_VAR = "ZOOMIE_PLAN_CACHE"
+
+_OFF_VALUES = {"", "off", "0", "no", "none", "disabled"}
+
+
+def resolve_env(value: Optional[str]) -> Optional[Path]:
+    """Map the ``ZOOMIE_PLAN_CACHE`` value to a store root (or None).
+
+    Pure so tests can pin the parsing table without touching process
+    environment or the resolved singleton.
+    """
+    if value is None:
+        base = os.environ.get("XDG_CACHE_HOME")
+        root = Path(base).expanduser() if base else Path.home() / ".cache"
+        return root / "zoomie" / "plans"
+    if value.strip().lower() in _OFF_VALUES:
+        return None
+    return Path(value).expanduser()
+
+
+class PlanDiskStore:
+    """One directory of ``<fingerprint>.plan`` kernel-source bundles.
+
+    An entry maps kernel names (``settle``, ``run:clk``, ``b16:settle``,
+    ...) to the generated module source that defines them. Entries
+    accumulate: kernels are generated lazily per active-domain set and
+    per batch width, and :meth:`merge` folds newly generated sources
+    into whatever the file already holds.
+    """
+
+    def __init__(self, root, limit: int = DEFAULT_DISK_LIMIT):
+        if limit < 1:
+            raise ValueError(f"disk plan cache limit must be >= 1: {limit}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.limit = limit
+        self.stats = {"hits": 0, "misses": 0, "stores": 0,
+                      "evictions": 0, "integrity_failures": 0}
+        registry = get_registry()
+        self._m_hits = registry.counter("sim.plan_cache.disk.hits")
+        self._m_misses = registry.counter("sim.plan_cache.disk.misses")
+        self._m_stores = registry.counter("sim.plan_cache.disk.stores")
+        self._m_evictions = registry.counter("sim.plan_cache.disk.evictions")
+        self._m_bad = registry.counter(
+            "sim.plan_cache.disk.integrity_failures")
+
+    # -- paths -------------------------------------------------------------
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.root / f"{fingerprint}{SUFFIX}"
+
+    # -- lookup ------------------------------------------------------------
+
+    def load(self, fingerprint: str) -> Optional[dict[str, str]]:
+        """The kernel-source bundle for ``fingerprint``, or None (a miss).
+
+        Every defect is a counted miss (``integrity_failures`` tracks
+        rot separately from plain not-found misses); this never raises.
+        """
+        sources = self._read(fingerprint, count_defects=True)
+        if sources is None:
+            self.stats["misses"] += 1
+            self._m_misses.inc()
+            return None
+        self.stats["hits"] += 1
+        self._m_hits.inc()
+        return sources
+
+    def _read(self, fingerprint: str,
+              count_defects: bool) -> Optional[dict[str, str]]:
+        path = self._path(fingerprint)
+        try:
+            if not path.exists():
+                return None
+            text = path.read_text()
+            newline = text.index("\n")
+            magic, length_hex, crc_hex = text[:newline].split(" ")
+            if magic != PLAN_MAGIC:
+                raise ValueError(f"bad magic {magic!r}")
+            body = text[newline + 1:]
+            data = body.encode("utf-8")
+            if len(data) != int(length_hex, 16):
+                raise ValueError(
+                    f"{len(data)} bytes where the header promises "
+                    f"{int(length_hex, 16)}")
+            if zlib.crc32(data) & 0xFFFFFFFF != int(crc_hex, 16):
+                raise ValueError("CRC32 mismatch (bit-rot or tampering)")
+            record = json.loads(body)
+            if record.get("fingerprint") != fingerprint:
+                raise ValueError("entry mis-filed under foreign key")
+            if record.get("codegen") != CODEGEN_VERSION:
+                # A stale generator version is not rot, just obsolete —
+                # count it as a plain miss and let the caller overwrite.
+                return None
+            kernels = record.get("kernels")
+            if not isinstance(kernels, dict) or not all(
+                    isinstance(k, str) and isinstance(v, str)
+                    for k, v in kernels.items()):
+                raise ValueError("malformed kernel table")
+            return dict(kernels)
+        except (ValueError, KeyError, IndexError, TypeError, OSError):
+            if count_defects:
+                self.stats["integrity_failures"] += 1
+                self._m_bad.inc()
+            return None
+
+    def note_defect(self) -> None:
+        """Record a defect found *after* load (a stored source that no
+        longer compiles); the caller regenerates and overwrites."""
+        self.stats["integrity_failures"] += 1
+        self._m_bad.inc()
+
+    # -- store -------------------------------------------------------------
+
+    def merge(self, fingerprint: str, kernels: dict[str, str]) -> None:
+        """Fold ``kernels`` into the stored entry (best-effort).
+
+        Read-modify-write so concurrently discovered kernels of the same
+        plan (other processes, other domain sets) accumulate rather than
+        clobber. I/O failures are swallowed: persistence is an
+        optimization, never a correctness dependency.
+        """
+        try:
+            merged = self._read(fingerprint, count_defects=False) or {}
+            merged.update(kernels)
+            body = json.dumps(
+                {"fingerprint": fingerprint, "codegen": CODEGEN_VERSION,
+                 "kernels": merged},
+                sort_keys=True)
+            data = body.encode("utf-8")
+            header = (f"{PLAN_MAGIC} {len(data):08x} "
+                      f"{zlib.crc32(data) & 0xFFFFFFFF:08x}\n")
+            path = self._path(fingerprint)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(header + body)
+            tmp.rename(path)
+            self.stats["stores"] += 1
+            self._m_stores.inc()
+            self._evict(keep=path)
+        except OSError:
+            pass
+
+    def _evict(self, keep: Path) -> None:
+        """Drop the oldest plan files beyond :attr:`limit` (never the
+        one just written)."""
+        entries = sorted(self.root.glob(f"*{SUFFIX}"),
+                         key=lambda p: p.stat().st_mtime)
+        excess = len(entries) - self.limit
+        for path in entries:
+            if excess <= 0:
+                break
+            if path == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            excess -= 1
+            self.stats["evictions"] += 1
+            self._m_evictions.inc()
+
+    # -- maintenance -------------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete every stored plan file; returns how many."""
+        dropped = 0
+        for path in self.root.glob(f"*{SUFFIX}"):
+            try:
+                path.unlink()
+                dropped += 1
+            except OSError:
+                continue
+        return dropped
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob(f"*{SUFFIX}"))
+
+    def stats_dict(self) -> dict:
+        return {"enabled": True, "path": str(self.root),
+                "entries": len(self), "limit": self.limit, **self.stats}
+
+
+# --------------------------------------------------------------------------
+# process-wide singleton
+# --------------------------------------------------------------------------
+
+_STORE: Optional[PlanDiskStore] = None
+_RESOLVED = False
+
+
+def get_plan_store() -> Optional[PlanDiskStore]:
+    """The process-wide disk tier, or None when disabled.
+
+    Resolution happens once (env var, then default location); an
+    unusable directory silently degrades to memory-only caching.
+    """
+    global _STORE, _RESOLVED
+    if not _RESOLVED:
+        _RESOLVED = True
+        root = resolve_env(os.environ.get(ENV_VAR))
+        if root is not None:
+            try:
+                _STORE = PlanDiskStore(root)
+            except (OSError, ValueError):
+                _STORE = None
+    return _STORE
+
+
+def set_plan_cache_dir(root=None) -> Optional[PlanDiskStore]:
+    """Point the disk tier at ``root`` (None disables it).
+
+    Used by tests and benchmarks to isolate the store; returns the new
+    store (or None).
+    """
+    global _STORE, _RESOLVED
+    _RESOLVED = True
+    _STORE = PlanDiskStore(root) if root is not None else None
+    return _STORE

@@ -509,6 +509,35 @@ class Simulator:
             hook(self, ticked)
 
     # ------------------------------------------------------------------
+    # batching (fan one run out into K bit-parallel lanes)
+    # ------------------------------------------------------------------
+
+    def to_batch(self, lanes: int) -> "BatchSimulator":
+        """A :class:`~repro.rtl.batch.BatchSimulator` with this run's
+        state broadcast into all ``lanes`` lanes.
+
+        Clock periods, phases, gating, and elapsed time carry over, so
+        each lane resumes exactly where this simulator stands; diverge
+        the lanes afterwards with per-lane ``poke``/``force``. Hooks do
+        not transfer — batched lanes have no per-edge observability.
+        """
+        from .batch import BatchSimulator
+        batch = BatchSimulator(
+            self.netlist, lanes,
+            clocks={name: d.period_ps for name, d in self.domains.items()})
+        snap = self.snapshot()
+        for lane in range(lanes):
+            batch.inject_lane(lane, snap)
+        batch.time_ps = snap["time_ps"]
+        for name, state in snap["clocks"].items():
+            dom = batch.domains[name]
+            dom.cycles = state["cycles"]
+            dom.edges_seen = state["edges_seen"]
+            dom.next_edge_ps = state["next_edge_ps"]
+            dom.gated = state["gated"]
+        return batch
+
+    # ------------------------------------------------------------------
     # snapshot / restore (the substrate for Zoomie's snapshot debugging)
     # ------------------------------------------------------------------
 

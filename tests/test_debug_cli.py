@@ -188,6 +188,8 @@ class TestStatsAndTrace:
         out = cli.execute("stats")
         assert "transport (this session's JTAG ring):" in out
         assert "batches =" in out
+        assert "sim plan cache:" in out
+        assert "hits =" in out
         assert "process metrics:" in out
         assert "debug.commands:" in out
 
@@ -195,10 +197,18 @@ class TestStatsAndTrace:
         cli.execute("run 5")
         import json
         data = json.loads(cli.execute("stats --json"))
-        assert set(data) == {"transport", "metrics"}
+        assert set(data) == {"transport", "metrics", "sim_plan_cache"}
         assert data["transport"] == \
             cli.debugger.fabric.transport.stats.as_dict()
         assert data["metrics"]["debug.commands"]["type"] == "counter"
+        plan_cache = data["sim_plan_cache"]
+        assert {"hits", "misses", "evictions", "size",
+                "disk"} <= set(plan_cache)
+        disk = plan_cache["disk"]
+        assert "enabled" in disk
+        if disk["enabled"]:
+            assert {"hits", "misses", "stores", "evictions",
+                    "integrity_failures"} <= set(disk)
 
     def test_stats_rejects_unknown_flags(self, cli):
         assert cli.execute("stats --wat").startswith("error:")
