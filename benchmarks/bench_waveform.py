@@ -1,0 +1,175 @@
+"""Real-machine measurement: streaming waveform capture throughput.
+
+The waveform tentpole moves trace capture *into* the fused run kernel:
+instead of an edge hook that forces the per-event path (and with it a
+Python-level settle/peek per cycle), the capture-aware kernel appends
+selected-signal samples into a preallocated ring inside the same hot
+loop the untraced run uses. This bench quantifies the payoff on the
+Cohort SoC at 1-in-1 stride — every committed edge sampled — and
+records the ladder into ``benchmarks/BENCH_waveform.json`` (latest
+entry per row key). The acceptance bars:
+
+* ``StreamingTrace`` throughput >= 5x the hook-based ``Trace``
+  baseline at stride 1;
+* untraced fused throughput is unchanged by the feature's presence
+  (measured in-process, same interpreter, generous tolerance).
+
+Deliberately uses no ``benchmark`` fixture so the CI waveform-bench
+job runs it with plain pytest (pytest-benchmark is not installed
+there).
+"""
+
+import time
+
+from conftest import emit_table, record_bench
+
+#: Acceptance bar: streaming vs hook-trace cycles/s, Cohort SoC, stride 1.
+STREAMING_SPEEDUP_FLOOR = 5.0
+
+#: Signals sampled on the Cohort SoC (the paper's debugging targets).
+PROBES = ["issued", "completed", "acc", "results"]
+
+#: Subsampling ladder for the stride table.
+STRIDES = (1, 4, 16)
+
+
+def _cohort():
+    from repro.designs import make_cohort_soc
+    from repro.rtl import elaborate
+    return elaborate(make_cohort_soc(with_bug=False))
+
+
+def _timebox(step_fn, cycles: int = 256) -> float:
+    """cycles per wall second; grows the chunk until the box fills."""
+    while True:
+        start = time.perf_counter()
+        step_fn(cycles)
+        elapsed = time.perf_counter() - start
+        if elapsed >= 0.12:
+            return cycles / elapsed
+        cycles *= 4
+
+
+def _untraced_rate(net) -> float:
+    from repro.rtl import Simulator
+
+    sim = Simulator(net)
+    sim.poke("en", 1)
+    sim.step(50)  # warm up (codegen + kernel JIT)
+    return _timebox(sim.step)
+
+
+def _hook_trace_rate(net) -> float:
+    from repro.rtl import Simulator, Trace
+
+    sim = Simulator(net)
+    sim.poke("en", 1)
+    sim.step(50)
+    trace = Trace(sim, PROBES, depth=4096).attach()
+    try:
+        return _timebox(sim.step)
+    finally:
+        trace.detach()
+
+
+def _streaming_rate(net, stride: int = 1) -> float:
+    from repro.rtl import Simulator, StreamingTrace
+
+    sim = Simulator(net)
+    sim.poke("en", 1)
+    sim.step(50)
+    trace = StreamingTrace(sim, PROBES, depth=4096, stride=stride)
+    try:
+        return _timebox(trace.run)
+    finally:
+        trace.stop()
+
+
+def _batch_streaming_rate(net, lanes: int) -> float:
+    """Effective lane-cycles/s with every lane traced at stride 1."""
+    from repro.rtl import BatchSimulator, BatchTrace
+
+    batch = BatchSimulator(net, lanes)
+    batch.poke("en", 1)
+    batch.step(50)
+    trace = BatchTrace(batch, PROBES, depth=4096)
+    try:
+        return _timebox(trace.run) * lanes
+    finally:
+        trace.stop()
+
+
+def test_streaming_capture_beats_hook_trace():
+    """The headline comparison: in-kernel capture vs edge-hook Trace,
+    Cohort SoC, all four probes, one sample per committed edge."""
+    net = _cohort()
+    untraced = _untraced_rate(net)
+    hook = _hook_trace_rate(net)
+    rows = [["untraced fused run", f"{untraced:,.0f} cycles/s", "--"]]
+    stride_rates = {}
+    for stride in STRIDES:
+        rate = _streaming_rate(net, stride)
+        stride_rates[stride] = rate
+        rows.append([f"streaming, stride {stride}",
+                     f"{rate:,.0f} cycles/s", f"{rate / hook:.1f}x"])
+    rows.append(["hook Trace baseline", f"{hook:,.0f} cycles/s", "1.0x"])
+    emit_table("Traced throughput, Cohort SoC (4 probes)",
+               ["capture path", "rate", "vs hook trace"], rows)
+
+    speedup = stride_rates[1] / hook
+    record_bench(
+        "waveform",
+        {"row": "cohort-soc-stride-ladder",
+         "untraced_rate": untraced,
+         "hook_trace_rate": hook,
+         "streaming_rates": {str(s): stride_rates[s] for s in STRIDES},
+         "speedup_stride1": speedup},
+        key="row")
+    assert speedup >= STREAMING_SPEEDUP_FLOOR, (
+        f"streaming capture is only {speedup:.1f}x the hook-trace "
+        f"baseline on the Cohort SoC; the bar is "
+        f"{STREAMING_SPEEDUP_FLOOR}x")
+
+
+def test_untraced_throughput_unaffected():
+    """The capture machinery must cost nothing when no trace is
+    attached: an untraced run after a traced one matches the untraced
+    rate measured before it (same process, wide tolerance for noise)."""
+    net = _cohort()
+    before = _untraced_rate(net)
+    _streaming_rate(net)  # exercise the capture kernels
+    after = _untraced_rate(net)
+    emit_table("Untraced fused throughput, Cohort SoC",
+               ["when", "rate"],
+               [["before any capture", f"{before:,.0f} cycles/s"],
+                ["after streaming capture", f"{after:,.0f} cycles/s"]])
+    record_bench(
+        "waveform",
+        {"row": "untraced-guard", "before_rate": before,
+         "after_rate": after, "ratio": after / before},
+        key="row")
+    assert after >= 0.7 * before, (
+        f"untraced throughput degraded after capture: "
+        f"{before:,.0f} -> {after:,.0f} cycles/s")
+
+
+def test_batched_capture_scales_with_lanes():
+    """BatchTrace records all K lanes from one packed kernel pass; the
+    per-lane cost of capture amortizes just like the run itself."""
+    net = _cohort()
+    scalar = _streaming_rate(net)
+    rows = [["K=1 (scalar)", f"{scalar:,.0f} lane-cycles/s", "1.0x"]]
+    results = {"1": scalar}
+    for lanes in (4, 16):
+        rate = _batch_streaming_rate(net, lanes)
+        results[str(lanes)] = rate
+        rows.append([f"K={lanes}", f"{rate:,.0f} lane-cycles/s",
+                     f"{rate / scalar:.1f}x"])
+    emit_table("Batched streaming capture, effective throughput",
+               ["lanes", "effective rate", "vs scalar"], rows)
+    record_bench(
+        "waveform",
+        {"row": "batch-capture-ladder", "rates": results},
+        key="row")
+    assert results["16"] > results["1"], (
+        "batched capture shows no effective-throughput gain at K=16")

@@ -229,6 +229,13 @@ class FabricDevice:
         assert self.sim is not None
         return self.sim.is_gated(domain)
 
+    def sync_gates(self) -> None:
+        """Re-evaluate gate requests once — the per-cycle check
+        :meth:`run` performs, exposed for capture paths that batch many
+        cycles after proving the requests cannot change mid-run."""
+        self._require_booted()
+        self._apply_gates()
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------

@@ -61,6 +61,9 @@ Commands:
                                     registry
   vti cache stats [--json]          VTI compile-cache hit/miss counters
   vti cache clear                   drop every cached compile artifact
+  trace-capture N SIG [SIG ...]     stream-capture signals while running N
+      [stride=K] [depth=D]          cycles (in-kernel ring capture; prints
+      [vcd=FILE]                    an ASCII timeline, optional VCD export)
   trace start|stop|status           control span tracing (off by default)
   trace export FILE                 write Chrome-trace JSON for Perfetto
   trace tree                        recorded spans, indented, both clocks
@@ -106,8 +109,11 @@ class ZoomieCli:
             "stats": self._cmd_stats,
             "vti": self._cmd_vti,
             "trace": self._cmd_trace,
+            "trace-capture": self._cmd_trace_capture,
             "help": lambda args: _HELP,
         }
+        #: The most recent trace-capture result, kept for inspection.
+        self.last_trace = None
 
     # ------------------------------------------------------------------
     # dispatch
@@ -360,6 +366,44 @@ class ZoomieCli:
             dropped = cache.clear()
             return f"compile cache cleared ({dropped} entry(ies))"
         raise ValueError(usage)
+
+    def _cmd_trace_capture(self, args: list[str]) -> str:
+        usage = ("usage: trace-capture CYCLES SIG [SIG ...] "
+                 "[stride=K] [depth=D] [vcd=FILE]")
+        if len(args) < 2:
+            raise ValueError(usage)
+        cycles = _parse_value(args[0])
+        signals: list[str] = []
+        stride, depth, vcd_path = 1, 4096, None
+        for arg in args[1:]:
+            key, sep, value = arg.partition("=")
+            if not sep:
+                signals.append(arg)
+            elif key == "stride":
+                stride = _parse_value(value)
+            elif key == "depth":
+                depth = _parse_value(value)
+            elif key == "vcd":
+                vcd_path = value
+            else:
+                raise ValueError(usage)
+        if not signals:
+            raise ValueError(usage)
+        trace = self.debugger.trace_capture(
+            signals, cycles, stride=stride, depth=depth)
+        self.last_trace = trace
+        lines = [f"captured {len(trace)} sample(s) over {cycles} "
+                 f"cycle(s) (stride {stride}, ring depth {depth}); "
+                 f"{self._status_line()}"]
+        if vcd_path is not None:
+            from ..rtl.waveform import write_vcd
+            with open(vcd_path, "w") as stream:
+                write_vcd(trace, stream)
+            lines.append(f"wrote VCD to {vcd_path}")
+        if len(trace):
+            from ..rtl.detectors import render_timeline
+            lines.append(render_timeline(trace, max_samples=48))
+        return "\n".join(lines)
 
     def _cmd_trace(self, args: list[str]) -> str:
         obs = get_observability()

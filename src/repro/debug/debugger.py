@@ -358,6 +358,76 @@ class ZoomieDebugger:
         return self.cycles() - before
 
     # ------------------------------------------------------------------
+    # streaming waveform capture
+    # ------------------------------------------------------------------
+
+    def _capture_fast_path_ok(self) -> bool:
+        """Whether streaming capture may batch the whole run.
+
+        The fabric re-evaluates gate requests every cycle because the
+        Debug Controller's ``pause_out`` can assert mid-run. With no
+        host pause latched, no step armed, and every trigger select /
+        watch mask / assertion enable at zero, ``pause_out`` is a
+        constant 0 for any input — so the gates are provably constant
+        and one fused capture run is cycle-identical to the per-cycle
+        loop.
+        """
+        if self.safe_paused:
+            return False
+        sim = self.fabric.sim
+        assert sim is not None
+        spec = self.inst.spec
+        registers = [spec.paused_reg, spec.host_pause_reg,
+                     spec.step_armed_reg, spec.and_sel_reg,
+                     spec.or_sel_reg, spec.assert_en_reg]
+        registers.extend(slot.watch_mask_reg for slot in spec.slots)
+        if any(sim.peek(name) for name in registers):
+            return False
+        return not any(sim.is_gated(domain) for domain in sim.domains)
+
+    def trace_capture(self, signals, cycles: int, stride: int = 1,
+                      depth: Optional[int] = 4096):
+        """Capture a waveform of ``signals`` while running ``cycles``
+        cycles — the paper's full-visibility answer to ILA probes: any
+        signal, chosen now, no recompile.
+
+        A free-running session (nothing armed, nothing paused) streams
+        through the simulator's fused capture kernel: every
+        ``stride``-th sample lands in a ``depth``-bounded ring at near
+        fused-run speed. If any breakpoint machinery is live, capture
+        falls back to cycle-exact per-edge recording (``stride`` is
+        ignored there) so a trigger still pauses the MUT on the precise
+        edge — and the capture stops with it. Returns the trace (a
+        :class:`~repro.rtl.waveform.TraceView`).
+        """
+        from ..rtl.waveform import StreamingTrace, Trace
+        sim = self.fabric.sim
+        assert sim is not None
+        signals = [str(s) for s in signals]
+        domain = self.inst.mut_domains[0]
+        with self._traced("trace_capture", signals=len(signals),
+                          cycles=cycles) as span, \
+                self._journaled("trace_capture", signals=signals,
+                                cycles=cycles, stride=stride, depth=depth):
+            self.fabric.sync_gates()
+            if self._capture_fast_path_ok():
+                trace = StreamingTrace(sim, signals, domain=domain,
+                                       depth=depth, stride=stride)
+                trace.run(cycles)
+                trace.stop()
+            else:
+                trace = Trace(sim, signals, domain=domain,
+                              depth=depth).attach()
+                ran = 0
+                while ran < cycles and not self.is_paused():
+                    self.fabric.run(1)
+                    ran += 1
+                trace.detach()
+            if span is not None:
+                span.set(samples=len(trace))
+        return trace
+
+    # ------------------------------------------------------------------
     # breakpoints (Algorithm 1 trigger composition)
     # ------------------------------------------------------------------
 

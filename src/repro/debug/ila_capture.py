@@ -117,12 +117,19 @@ class IlaCore:
             cycle=cycle,
             values={p: sim.peek(p) for p in self.probes})
         if self.triggered_at is None:
-            self._pre.append(row)
-            if len(self._pre) > self.trigger_position:
-                del self._pre[0]
             if all(row.values[name] == value
                    for name, value in self._armed.items()):
+                # The trigger sample opens the post-trigger half. It
+                # must not pass through the circular pre-buffer: with
+                # trigger_position=0 that buffer holds nothing, so the
+                # row would be evicted and value_at(triggered_at, ...)
+                # would raise on a cycle the core claims to have seen.
                 self.triggered_at = cycle
+                self._post.append(row)
+            else:
+                self._pre.append(row)
+                if len(self._pre) > self.trigger_position:
+                    del self._pre[0]
         else:
             self._post.append(row)
 

@@ -274,6 +274,11 @@ def _apply(debugger: ZoomieDebugger, store: SnapshotStore,
             debugger.break_on_assertions(args["enable"])
         elif command == "clear_breakpoints":
             debugger.clear_breakpoints()
+        elif command == "trace_capture":
+            debugger.trace_capture(list(args["signals"]),
+                                   cycles=args["cycles"],
+                                   stride=args["stride"],
+                                   depth=args["depth"])
         elif command == "write_state":
             debugger.write_state(dict(args["updates"]))
         elif command == "write_memory":

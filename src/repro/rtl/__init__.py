@@ -39,7 +39,22 @@ from .simulator import (
     ENGINES,
     Simulator,
 )
-from .waveform import Trace, write_vcd
+from .waveform import (
+    BatchTrace,
+    StreamingTrace,
+    Trace,
+    TraceView,
+    write_vcd,
+)
+from .detectors import (
+    Detector,
+    Finding,
+    PatternDetector,
+    StuckSignalDetector,
+    render_timeline,
+    run_detectors,
+    write_during_stall,
+)
 
 __all__ = [
     "ENGINE_CLOSURES",
@@ -47,23 +62,30 @@ __all__ = [
     "ENGINE_INTERPRETED",
     "ENGINES",
     "BatchSimulator",
+    "BatchTrace",
     "BinaryOp",
     "Concat",
     "Const",
+    "Detector",
     "Expr",
+    "Finding",
     "Instance",
     "Memory",
     "Module",
     "ModuleBuilder",
     "Mux",
     "Netlist",
+    "PatternDetector",
     "Port",
     "Ref",
     "Register",
     "Repl",
     "Simulator",
     "Slice",
+    "StreamingTrace",
+    "StuckSignalDetector",
     "Trace",
+    "TraceView",
     "UnaryOp",
     "cat",
     "clear_plan_cache",
@@ -73,6 +95,9 @@ __all__ = [
     "reduce_and",
     "reduce_or",
     "reduce_xor",
+    "render_timeline",
+    "run_detectors",
     "set_plan_cache_dir",
+    "write_during_stall",
     "write_vcd",
 ]

@@ -361,14 +361,19 @@ class _KernelBuilder:
 
 
 def _kernel_source(name: str, kb: _KernelBuilder, params: str,
-                   body: list[str], loop: bool) -> str:
+                   body: list[str], loop: bool,
+                   prologue: tuple[str, ...] = (),
+                   epilogue: tuple[str, ...] = ()) -> str:
     """Wrap a generated body in loads/stores; returns the full source.
 
     The source is self-contained (it only needs ``min`` in its globals),
     deterministic for a given plan structure, and therefore safe to
-    persist on disk keyed by the netlist fingerprint.
+    persist on disk keyed by the netlist fingerprint. ``prologue`` lines
+    run before the loads, ``epilogue`` lines after the stores (capture
+    kernels use them for ring setup and state return).
     """
     lines = [f"def {name}({params}):"]
+    lines.extend(prologue)
     for mem_name, local in kb.mem_of.items():
         lines.append(f"    {local} = mems[{mem_name!r}]")
     for sig_name, local in kb.locals_of.items():
@@ -380,7 +385,45 @@ def _kernel_source(name: str, kb: _KernelBuilder, params: str,
         lines.extend(body if body else ["    pass"])
     for sig_name in kb.stores:
         lines.append(f"    e[{sig_name!r}] = {kb.locals_of[sig_name]}")
+    lines.extend(epilogue)
     return "\n".join(lines)
+
+
+def _capture_body_lines(sym: Callable[[str], str], signals: tuple[str, ...],
+                        bounded: bool, ind: str) -> list[str]:
+    """The in-loop sampling fragment shared by scalar and batched
+    capture kernels: every ``stride``-th iteration appends one
+    ``(cycle, sig0, sig1, ...)`` row into the ring.
+
+    Sampling happens between settle and edge, so a row holds the
+    settled state *after* ``cyc`` committed edges — exactly what an
+    edge-hook observer reading back after commit ``cyc`` sees.
+    """
+    atoms = ", ".join(sym(name) for name in signals)
+    lines = [f"{ind}if k == 0:"]
+    if bounded:
+        lines += [
+            f"{ind}    ring[head] = (cyc, {atoms})",
+            f"{ind}    head += 1",
+            f"{ind}    if head == _rl:",
+            f"{ind}        head = 0",
+        ]
+    else:
+        lines.append(f"{ind}    ring.append((cyc, {atoms}))")
+    lines += [
+        f"{ind}    total += 1",
+        f"{ind}k += 1",
+        f"{ind}if k == stride:",
+        f"{ind}    k = 0",
+    ]
+    return lines
+
+
+#: Parameter list of every capture kernel (scalar and batched): the
+#: ring list plus the four cursors the kernel threads through and
+#: returns — write head, lifetime sample count, stride phase, cycle.
+CAPTURE_PARAMS = "e, mems, n, ring, head, total, stride, k, cyc"
+CAPTURE_EPILOGUE = ("    return head, total, k, cyc",)
 
 
 def _materialize(source: str, name: str) -> Callable:
@@ -469,6 +512,7 @@ class CompiledPlan:
         self._closures = None
         self._tick_kernels: dict[tuple[str, ...], Callable] = {}
         self._run_kernels: dict[tuple[str, ...], Callable] = {}
+        self._capture_kernels: dict[str, Callable] = {}
         self._batch_plans: dict[int, object] = {}
 
     # -- kernel source management ------------------------------------------
@@ -574,6 +618,41 @@ class CompiledPlan:
             kernel = self.kernel_from_source(
                 "run:" + "+".join(active), "_run", build)
             self._run_kernels[active] = kernel
+        return kernel
+
+    def capture_run_kernel(self, active: tuple[str, ...],
+                           signals: tuple[str, ...],
+                           bounded: bool) -> Callable:
+        """``crun(env, mems, n, ring, head, total, stride, k, cyc)``:
+        the fused run loop with in-kernel trace capture.
+
+        Each loop iteration settles, then (every ``stride``-th
+        iteration) appends a ``(cycle, sig0, sig1, ...)`` tuple into
+        ``ring`` — a preallocated circular list when ``bounded``, an
+        append-only list otherwise — then commits the edge. Returns the
+        updated ``(head, total, k, cyc)`` cursors so the caller can
+        resume a later chunk exactly where this one stopped. Tracing
+        therefore costs one tuple build per sample instead of dropping
+        off the fused fast path entirely.
+        """
+        key = ("crun:" + "+".join(active)
+               + (":ring:" if bounded else ":grow:") + ",".join(signals))
+        kernel = self._capture_kernels.get(key)
+        if kernel is None:
+            def build() -> str:
+                kb = _KernelBuilder(self)
+                body: list[str] = []
+                kb.emit_settle(body, "        ")
+                body.extend(_capture_body_lines(
+                    kb.sym, signals, bounded, "        "))
+                kb.emit_edge(body, "        ", active)
+                body.append("        cyc += 1")
+                prologue = ("    _rl = len(ring)",) if bounded else ()
+                return _kernel_source(
+                    "_crun", kb, CAPTURE_PARAMS, body, loop=True,
+                    prologue=prologue, epilogue=CAPTURE_EPILOGUE)
+            kernel = self.kernel_from_source(key, "_crun", build)
+            self._capture_kernels[key] = kernel
         return kernel
 
     # -- batched (bit-parallel) tier ---------------------------------------

@@ -53,7 +53,8 @@ from .._bits import mask, truncate
 from ..errors import SimulationError, UnknownSignalError
 from ..obs import get_registry
 from ._codegen import (
-    _SIGNED_CMP, CompiledPlan, compiled_plan_for)
+    _SIGNED_CMP, CAPTURE_EPILOGUE, CAPTURE_PARAMS, CompiledPlan,
+    _capture_body_lines, compiled_plan_for)
 from .expr import BinaryOp, Concat, Const, Expr, Mux, Ref, Repl, Slice, UnaryOp
 from .netlist import Netlist
 from .simulator import DEFAULT_PERIOD_PS, ClockDomain
@@ -608,15 +609,19 @@ class _BatchEmitter:
     # -- kernel module assembly --------------------------------------------
 
     def module_source(self, name: str, params: str, body: list[str],
-                      loop: bool) -> str:
+                      loop: bool, prologue: tuple[str, ...] = (),
+                      epilogue: tuple[str, ...] = ()) -> str:
         """A self-contained module: hoisted lane constants, per-lane
-        helper functions, then the kernel wrapped in loads/stores."""
+        helper functions, then the kernel wrapped in loads/stores.
+        ``prologue``/``epilogue`` bracket the function body the same way
+        the scalar ``_kernel_source`` does (capture kernels only)."""
         lines: list[str] = []
         for value, const_name in self.consts.items():
             lines.append(f"{const_name} = {hex(value)}")
         for helper_source in self.helpers.values():
             lines.append(helper_source)
         lines.append(f"def {name}({params}):")
+        lines.extend(prologue)
         for mem_name, local in self.mem_of.items():
             lines.append(f"    {local} = mems[{mem_name!r}]")
         for sig_name, local in self.locals_of.items():
@@ -628,6 +633,7 @@ class _BatchEmitter:
             lines.extend(body if body else ["    pass"])
         for sig_name in self.stores:
             lines.append(f"    e[{sig_name!r}] = {self.locals_of[sig_name]}")
+        lines.extend(epilogue)
         return "\n".join(lines)
 
 
@@ -652,6 +658,7 @@ class BatchPlan:
         self.stride = _plan_stride(plan)
         self._tick_kernels: dict[tuple[str, ...], Callable] = {}
         self._run_kernels: dict[tuple[str, ...], Callable] = {}
+        self._capture_kernels: dict[str, Callable] = {}
         self.settle: Callable = plan.kernel_from_source(
             f"b{lanes}:settle", "_settle",
             lambda: self._source("_settle", "e, mems", None, loop=False))
@@ -684,6 +691,32 @@ class BatchPlan:
                 lambda: self._source("_run", "e, mems, n", active,
                                      loop=True))
             self._run_kernels[active] = kernel
+        return kernel
+
+    def capture_run_kernel(self, active: tuple[str, ...],
+                           signals: tuple[str, ...],
+                           bounded: bool) -> Callable:
+        """The batched twin of :meth:`CompiledPlan.capture_run_kernel`:
+        each ring row stores the *packed* K-lane integers, so one row
+        samples all lanes at once (decoded by ``BatchTrace``)."""
+        key = (f"b{self.lanes}:crun:" + "+".join(active)
+               + (":ring:" if bounded else ":grow:") + ",".join(signals))
+        kernel = self._capture_kernels.get(key)
+        if kernel is None:
+            def build() -> str:
+                em = _BatchEmitter(self.plan, self.lanes, self.stride)
+                body: list[str] = []
+                em.emit_settle(body, "        ")
+                body.extend(_capture_body_lines(
+                    em.sym, signals, bounded, "        "))
+                em.emit_edge(body, "        ", active)
+                body.append("        cyc += 1")
+                prologue = ("    _rl = len(ring)",) if bounded else ()
+                return em.module_source(
+                    "_crun", CAPTURE_PARAMS, body, loop=True,
+                    prologue=prologue, epilogue=CAPTURE_EPILOGUE)
+            kernel = self.plan.kernel_from_source(key, "_crun", build)
+            self._capture_kernels[key] = kernel
         return kernel
 
 
@@ -873,6 +906,38 @@ class BatchSimulator:
         for _ in range(cycles):
             self._advance_one_event()
 
+    def step_captured(self, cycles: int, capture,
+                      domain: Optional[str] = None) -> None:
+        """Advance all lanes like :meth:`step` while streaming packed
+        samples of ``capture.signals`` into its ring (the capture side
+        of :class:`~repro.rtl.waveform.BatchTrace`)."""
+        if cycles < 0:
+            raise SimulationError("cannot step a negative number of cycles")
+        self._domain(capture.domain)
+        self._m_runs.inc()
+        self._m_lane_ticks.inc(cycles * self.lanes)
+        if domain is not None:
+            dom = self._domain(domain)
+            if domain != capture.domain:
+                raise SimulationError(
+                    f"capture samples domain {capture.domain!r}; "
+                    f"cannot step domain {domain!r} alone")
+            if cycles and not dom.gated:
+                self._captured_run((domain,), cycles, capture,
+                                   advance_time=False)
+                return
+            for _ in range(cycles):
+                self._capture_event(frozenset({domain}), capture)
+            return
+        if cycles and not any(d.gated for d in self.domains.values()) \
+                and len({(d.period_ps, d.next_edge_ps)
+                         for d in self.domains.values()}) == 1:
+            self._captured_run(tuple(self.domains), cycles, capture,
+                               advance_time=True)
+            return
+        for _ in range(cycles):
+            self._advance_one_event(capture)
+
     def run_to_time(self, time_ps: int) -> None:
         if not self.domains:
             raise SimulationError(
@@ -895,7 +960,33 @@ class BatchSimulator:
             self.time_ps = dom.next_edge_ps - dom.period_ps
         self._dirty = True
 
-    def _advance_one_event(self) -> None:
+    def _captured_run(self, active: tuple[str, ...], cycles: int,
+                      capture, advance_time: bool) -> None:
+        kernel = self._bplan.capture_run_kernel(
+            tuple(sorted(active)), capture.signals, capture.bounded)
+        (capture.head, capture.total, capture.phase,
+         capture.cycle) = kernel(
+            self.env, self.memories, cycles, capture.ring, capture.head,
+            capture.total, capture.stride, capture.phase, capture.cycle)
+        for name in active:
+            dom = self.domains[name]
+            dom.cycles += cycles
+            dom.edges_seen += cycles
+            if advance_time:
+                dom.next_edge_ps += cycles * dom.period_ps
+        if advance_time:
+            dom = next(iter(self.domains.values()))
+            self.time_ps = dom.next_edge_ps - dom.period_ps
+        self._dirty = True
+
+    def _capture_event(self, ticking: frozenset[str], capture) -> None:
+        dom = self.domains[capture.domain]
+        if capture.domain in ticking and not dom.gated:
+            self._settle()
+            capture.sample_scalar(self.env)
+        self._tick(ticking)
+
+    def _advance_one_event(self, capture=None) -> None:
         if not self.domains:
             raise SimulationError(
                 "design has no clock domains; nothing can advance time")
@@ -907,7 +998,10 @@ class BatchSimulator:
         for name in ticking:
             dom = self.domains[name]
             dom.next_edge_ps += dom.period_ps
-        self._tick(ticking)
+        if capture is not None:
+            self._capture_event(ticking, capture)
+        else:
+            self._tick(ticking)
 
     def _tick(self, ticking: frozenset[str]) -> None:
         active = []

@@ -1,0 +1,232 @@
+"""Bug-pattern detectors and ASCII timeline rendering over captures.
+
+The consumer side of the waveform pipeline (modelled on the synapse32
+debug toolkit's ``bug_detector``/``signal_tracer`` pair): a
+:class:`Detector` scans any :class:`~repro.rtl.waveform.TraceView` for a
+multi-signal predicate and reports :class:`Finding` episodes — e.g. a
+write enable asserted while the pipeline reports a stall, or a valid
+held for longer than the protocol allows. :func:`render_timeline` draws
+the trace as a plain-ASCII waveform so a finding can be eyeballed
+straight from a terminal, no VCD viewer required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Union
+
+from ..errors import SimulationError
+
+Condition = Union[int, Callable[[int], bool]]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One detected episode: a contiguous run of matching samples."""
+
+    detector: str
+    start_cycle: int
+    end_cycle: int
+    samples: int
+    values: dict
+    message: str
+
+    def describe(self) -> str:
+        span = (f"cycle {self.start_cycle}" if self.samples == 1
+                else f"cycles {self.start_cycle}..{self.end_cycle}")
+        return (f"[{self.detector}] {span} "
+                f"({self.samples} sample(s)): {self.message}")
+
+
+class Detector:
+    """Base class: scan a trace view, return findings oldest-first."""
+
+    name = "detector"
+
+    def scan(self, trace) -> list[Finding]:
+        raise NotImplementedError
+
+    def _require(self, trace, signals: Iterable[str]) -> None:
+        missing = sorted(set(signals) - set(trace.signals))
+        if missing:
+            raise SimulationError(
+                f"detector {self.name!r} needs uncaptured signals {missing}")
+
+
+class PatternDetector(Detector):
+    """Fires where every condition holds on the same sampled row.
+
+    ``conditions`` maps signal names to either an exact value or a
+    one-argument predicate. Consecutive matching samples coalesce into
+    one episode; ``min_span`` drops episodes shorter than that many
+    samples (use it for held-too-long patterns, e.g. a request valid
+    that never sees ready).
+    """
+
+    def __init__(self, name: str, conditions: dict[str, Condition],
+                 message: str = "", min_span: int = 1):
+        if not conditions:
+            raise SimulationError(
+                "pattern detector needs at least one condition")
+        if min_span < 1:
+            raise SimulationError(
+                f"min_span must be positive, got {min_span}")
+        self.name = name
+        self.conditions = dict(conditions)
+        self.message = message or name
+        self.min_span = min_span
+
+    def _match(self, row: dict[str, int]) -> bool:
+        for signal, cond in self.conditions.items():
+            value = row[signal]
+            if callable(cond):
+                if not cond(value):
+                    return False
+            elif value != cond:
+                return False
+        return True
+
+    def scan(self, trace) -> list[Finding]:
+        self._require(trace, self.conditions)
+        findings: list[Finding] = []
+        start: Optional[int] = None
+        end = 0
+        count = 0
+        first_values: dict[str, int] = {}
+
+        def close() -> None:
+            nonlocal start, count
+            if start is not None and count >= self.min_span:
+                findings.append(Finding(
+                    detector=self.name, start_cycle=start, end_cycle=end,
+                    samples=count, values=first_values, message=self.message))
+            start = None
+            count = 0
+
+        for cycle, row in trace.iter_rows():
+            if self._match(row):
+                if start is None:
+                    start = cycle
+                    first_values = {s: row[s] for s in self.conditions}
+                end = cycle
+                count += 1
+            else:
+                close()
+        close()
+        return findings
+
+
+class StuckSignalDetector(Detector):
+    """Flags signals that never change over the whole capture — a reset
+    that never deasserts, an enable tied low, a counter that is not
+    clocking. Needs at least ``min_samples`` rows to have an opinion."""
+
+    def __init__(self, signals: Optional[Iterable[str]] = None,
+                 min_samples: int = 8, name: str = "stuck-signal"):
+        self.name = name
+        self.signals = list(signals) if signals is not None else None
+        self.min_samples = min_samples
+
+    def scan(self, trace) -> list[Finding]:
+        signals = self.signals if self.signals is not None else trace.signals
+        self._require(trace, signals)
+        rows = list(trace.iter_rows())
+        if len(rows) < self.min_samples:
+            return []
+        findings: list[Finding] = []
+        first_cycle, first_row = rows[0]
+        last_cycle = rows[-1][0]
+        for signal in signals:
+            value = first_row[signal]
+            if all(row[signal] == value for _, row in rows[1:]):
+                findings.append(Finding(
+                    detector=self.name, start_cycle=first_cycle,
+                    end_cycle=last_cycle, samples=len(rows),
+                    values={signal: value},
+                    message=f"{signal} stuck at {value} for all "
+                            f"{len(rows)} samples"))
+        return findings
+
+
+def write_during_stall(write_enable: str, stall: str,
+                       name: Optional[str] = None) -> PatternDetector:
+    """The canonical hazard pattern: a write strobe asserted while the
+    pipeline reports a stall — state advances under a cycle that should
+    have been frozen."""
+    return PatternDetector(
+        name or f"write-during-stall({write_enable},{stall})",
+        {write_enable: lambda v: v != 0, stall: lambda v: v != 0},
+        message=f"{write_enable} asserted while {stall} is high")
+
+
+def run_detectors(trace, detectors: Iterable[Detector]) -> list[Finding]:
+    """Scan one capture with many detectors; findings sorted by cycle."""
+    findings: list[Finding] = []
+    for detector in detectors:
+        findings.extend(detector.scan(trace))
+    findings.sort(key=lambda f: (f.start_cycle, f.detector))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# ASCII timeline rendering
+# ---------------------------------------------------------------------------
+
+_HEX = "0123456789abcdef"
+
+
+def _lane_char(value: int, width: int) -> str:
+    if width == 1:
+        return "~" if value else "_"
+    if value < 16:
+        return _HEX[value]
+    return "#"
+
+
+def render_timeline(trace, signals: Optional[Iterable[str]] = None,
+                    start: Optional[int] = None, end: Optional[int] = None,
+                    max_samples: int = 64,
+                    marks: Iterable[int] = ()) -> str:
+    """Render a capture as a terminal waveform, one column per sample.
+
+    1-bit signals draw as ``_``/``~`` levels; wider signals show one
+    hex digit per sample (``#`` for values >= 16). ``start``/``end``
+    clip the cycle range, ``max_samples`` keeps the newest columns that
+    fit, and each cycle in ``marks`` gets a ``^`` caret underneath
+    (detector findings, trigger points).
+    """
+    signals = list(signals) if signals is not None else list(trace.signals)
+    missing = sorted(set(signals) - set(trace.signals))
+    if missing:
+        raise SimulationError(f"timeline refers to uncaptured {missing}")
+    rows = [(cycle, row) for cycle, row in trace.iter_rows()
+            if (start is None or cycle >= start)
+            and (end is None or cycle <= end)]
+    clipped = max(0, len(rows) - max_samples)
+    rows = rows[clipped:]
+    if not rows:
+        return "(no samples in range)"
+    widths = getattr(trace, "widths", {})
+    label_pad = max(len("cycle"), max(len(name) for name in signals))
+    cycles = [cycle for cycle, _ in rows]
+    ruler = [" "] * len(rows)
+    pos = 0
+    while pos < len(rows):
+        tick = str(cycles[pos])
+        if pos + len(tick) <= len(rows):
+            ruler[pos:pos + len(tick)] = tick
+        pos += max(8, len(tick) + 1)
+    lines = [f"{'cycle'.ljust(label_pad)} |{''.join(ruler)}"]
+    for name in signals:
+        width = widths.get(name, 1)
+        chars = "".join(
+            _lane_char(row[name], width) for _, row in rows)
+        lines.append(f"{name.ljust(label_pad)} |{chars}")
+    mark_set = set(marks)
+    if mark_set:
+        carets = "".join(
+            "^" if cycle in mark_set else " " for cycle in cycles)
+        lines.append(f"{''.ljust(label_pad)} |{carets}")
+    if clipped:
+        lines.append(f"({clipped} older sample(s) clipped)")
+    return "\n".join(lines)

@@ -412,6 +412,83 @@ class Simulator:
             self.time_ps = dom.next_edge_ps - dom.period_ps
         self._dirty = True
 
+    # ------------------------------------------------------------------
+    # streaming capture
+    # ------------------------------------------------------------------
+
+    def step_captured(self, cycles: int, capture,
+                      domain: Optional[str] = None) -> None:
+        """Advance like :meth:`step` while streaming samples of
+        ``capture.signals`` into its ring buffer.
+
+        ``capture`` is a :class:`~repro.rtl.waveform._CaptureBuffer`
+        (normally owned by a :class:`~repro.rtl.waveform.StreamingTrace`).
+        Whenever the plain fused run loop would be eligible, the whole
+        run — including sampling — happens inside one generated capture
+        kernel, so observing the design does not forfeit the hot path.
+        Otherwise (hooks, gating, interp/closure engines, skewed clock
+        schedules) each event settles and samples in Python with the
+        exact same pre-edge ordering the kernel uses.
+        """
+        if cycles < 0:
+            raise SimulationError("cannot step a negative number of cycles")
+        cap_dom = self._domain(capture.domain)
+        self._m_runs.inc()
+        self._m_ticks.inc(cycles)
+        if domain is not None:
+            dom = self._domain(domain)
+            if domain != capture.domain:
+                raise SimulationError(
+                    f"capture samples domain {capture.domain!r}; "
+                    f"cannot step domain {domain!r} alone")
+            if cycles and self._hot_loop_ok() and not dom.gated:
+                self._captured_run((domain,), cycles, capture,
+                                   advance_time=False)
+                return
+            for _ in range(cycles):
+                self._capture_event(frozenset({domain}), capture)
+            return
+        if cycles and self._hot_loop_ok() \
+                and not any(d.gated for d in self.domains.values()) \
+                and len({(d.period_ps, d.next_edge_ps)
+                         for d in self.domains.values()}) == 1:
+            self._captured_run(tuple(self.domains), cycles, capture,
+                               advance_time=True)
+            return
+        del cap_dom
+        for _ in range(cycles):
+            self._advance_one_event(capture)
+
+    def _captured_run(self, active: tuple[str, ...], cycles: int,
+                      capture, advance_time: bool) -> None:
+        """One capture-kernel call plus the same clock bookkeeping as
+        :meth:`_fused_run`; the kernel hands back the ring cursors."""
+        kernel = self._plan.capture_run_kernel(
+            tuple(sorted(active)), capture.signals, capture.bounded)
+        (capture.head, capture.total, capture.phase,
+         capture.cycle) = kernel(
+            self.env, self.memories, cycles, capture.ring, capture.head,
+            capture.total, capture.stride, capture.phase, capture.cycle)
+        for name in active:
+            dom = self.domains[name]
+            dom.cycles += cycles
+            dom.edges_seen += cycles
+            if advance_time:
+                dom.next_edge_ps += cycles * dom.period_ps
+        if advance_time:
+            dom = next(iter(self.domains.values()))
+            self.time_ps = dom.next_edge_ps - dom.period_ps
+        self._dirty = True
+
+    def _capture_event(self, ticking: frozenset[str], capture) -> None:
+        """General-path twin of one capture-kernel iteration: settle and
+        sample (if the capture domain commits this event), then tick."""
+        dom = self.domains[capture.domain]
+        if capture.domain in ticking and not dom.gated:
+            self._settle()
+            capture.sample_scalar(self.env)
+        self._tick(ticking)
+
     def run_to_time(self, time_ps: int) -> None:
         """Advance global time up to and including ``time_ps``."""
         if not self.domains:
@@ -420,7 +497,7 @@ class Simulator:
         while min(d.next_edge_ps for d in self.domains.values()) <= time_ps:
             self._advance_one_event()
 
-    def _advance_one_event(self) -> None:
+    def _advance_one_event(self, capture=None) -> None:
         if not self.domains:
             raise SimulationError(
                 "design has no clock domains; nothing can advance time")
@@ -432,7 +509,10 @@ class Simulator:
         for name in ticking:
             dom = self.domains[name]
             dom.next_edge_ps += dom.period_ps
-        self._tick(ticking)
+        if capture is not None:
+            self._capture_event(ticking, capture)
+        else:
+            self._tick(ticking)
 
     def _tick(self, ticking: frozenset[str]) -> None:
         """Apply one edge to the given domains (honouring gating)."""

@@ -293,3 +293,38 @@ class TestVtiCacheCommands:
         assert cli.execute("vti cache").startswith("error:")
         assert cli.execute("vti cache stats --wat").startswith("error:")
         assert cli.execute("vti cache clear extra").startswith("error:")
+
+
+class TestTraceCapture:
+    def test_capture_renders_timeline(self, cli):
+        out = cli.execute("trace-capture 24 issued completed")
+        assert "captured 25 sample(s) over 24 cycle(s)" in out
+        assert "stride 1" in out
+        assert "\ncycle " in out  # ASCII timeline header row
+        assert "issued" in out
+        assert cli.last_trace is not None
+        assert len(cli.last_trace) == 25
+
+    def test_capture_stride_depth_and_vcd(self, cli, tmp_path):
+        vcd = tmp_path / "cap.vcd"
+        out = cli.execute(
+            f"trace-capture 32 issued stride=4 depth=4 vcd={vcd}")
+        assert "stride 4, ring depth 4" in out
+        assert f"wrote VCD to {vcd}" in out
+        text = vcd.read_text()
+        assert "$var wire" in text and "$dumpvars" in text
+        assert len(cli.last_trace) == 4
+
+    def test_capture_usage_errors(self, cli):
+        assert cli.execute("trace-capture").startswith("error: usage")
+        assert cli.execute("trace-capture 10").startswith("error: usage")
+        assert cli.execute(
+            "trace-capture 10 issued wat=1").startswith("error: usage")
+        assert cli.execute(
+            "trace-capture 10 no_such_sig").startswith("error:")
+
+    def test_capture_stops_at_watchpoint(self, cli):
+        cli.execute("break issued=3")
+        out = cli.execute("trace-capture 500 issued")
+        assert "paused" in out
+        assert len(cli.last_trace) < 501

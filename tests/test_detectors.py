@@ -1,0 +1,141 @@
+"""Bug-pattern detectors and the ASCII timeline renderer."""
+
+import pytest
+
+from repro.designs import make_counter
+from repro.errors import SimulationError
+from repro.rtl import (
+    PatternDetector,
+    Simulator,
+    StreamingTrace,
+    StuckSignalDetector,
+    elaborate,
+    render_timeline,
+    run_detectors,
+    write_during_stall,
+)
+
+
+class FakeTrace:
+    """Minimal TraceView stand-in with hand-authored rows."""
+
+    def __init__(self, signals, rows, widths=None):
+        self.signals = list(signals)
+        self.widths = widths or {name: 8 for name in self.signals}
+        self._rows = rows
+
+    def iter_rows(self):
+        return iter(self._rows)
+
+
+def make_trace(**series):
+    """Build a FakeTrace from per-signal sample lists."""
+    signals = list(series)
+    length = len(next(iter(series.values())))
+    rows = [(cycle, {name: series[name][cycle] for name in signals})
+            for cycle in range(length)]
+    return FakeTrace(signals, rows)
+
+
+class TestPatternDetector:
+    def test_coalesces_consecutive_matches_into_episodes(self):
+        trace = make_trace(we=[0, 1, 1, 0, 1, 0, 1, 1],
+                           stall=[1, 1, 1, 1, 0, 0, 1, 1])
+        findings = write_during_stall("we", "stall").scan(trace)
+        assert [(f.start_cycle, f.end_cycle, f.samples)
+                for f in findings] == [(1, 2, 2), (6, 7, 2)]
+        assert findings[0].values == {"we": 1, "stall": 1}
+        assert "we asserted while stall is high" in findings[0].message
+        assert "cycles 1..2" in findings[0].describe()
+
+    def test_exact_value_and_predicate_conditions(self):
+        trace = make_trace(state=[0, 3, 3, 2, 3], count=[9, 1, 2, 3, 4])
+        exact = PatternDetector("in-state-3", {"state": 3})
+        assert [f.start_cycle for f in exact.scan(trace)] == [1, 4]
+        both = PatternDetector(
+            "odd-while-3", {"state": 3, "count": lambda v: v % 2 == 1})
+        assert [(f.start_cycle, f.samples)
+                for f in both.scan(trace)] == [(1, 1)]
+
+    def test_min_span_filters_short_episodes(self):
+        trace = make_trace(valid=[1, 0, 1, 1, 1, 0, 1])
+        held = PatternDetector("valid-held", {"valid": 1}, min_span=3)
+        findings = held.scan(trace)
+        assert [(f.start_cycle, f.end_cycle) for f in findings] == [(2, 4)]
+
+    def test_uncaptured_signal_raises(self):
+        trace = make_trace(a=[0, 1])
+        with pytest.raises(SimulationError):
+            PatternDetector("x", {"b": 1}).scan(trace)
+        with pytest.raises(SimulationError):
+            PatternDetector("x", {})
+        with pytest.raises(SimulationError):
+            PatternDetector("x", {"a": 1}, min_span=0)
+
+
+class TestStuckSignalDetector:
+    def test_flags_constant_signals_only(self):
+        trace = make_trace(live=[0, 1, 2, 3, 4, 5, 6, 7],
+                           dead=[9, 9, 9, 9, 9, 9, 9, 9])
+        findings = StuckSignalDetector().scan(trace)
+        assert len(findings) == 1
+        assert findings[0].values == {"dead": 9}
+        assert "stuck at 9" in findings[0].message
+
+    def test_needs_enough_samples(self):
+        trace = make_trace(dead=[9, 9, 9])
+        assert StuckSignalDetector(min_samples=8).scan(trace) == []
+
+
+class TestRunDetectors:
+    def test_findings_sorted_by_cycle(self):
+        trace = make_trace(we=[0, 0, 0, 1], stall=[1, 1, 1, 1],
+                           dead=[5, 5, 5, 5, 5, 5, 5, 5][:4])
+        findings = run_detectors(trace, [
+            write_during_stall("we", "stall"),
+            StuckSignalDetector(["dead"], min_samples=4),
+        ])
+        assert [f.detector for f in findings] == [
+            "stuck-signal", "write-during-stall(we,stall)"]
+        assert findings[0].start_cycle <= findings[1].start_cycle
+
+    def test_end_to_end_on_streaming_capture(self):
+        sim = Simulator(elaborate(make_counter(8)))
+        sim.poke("en", 1)
+        trace = StreamingTrace(sim, ["count", "en"], depth=None)
+        trace.run(12)
+        trace.stop()
+        findings = run_detectors(trace, [
+            PatternDetector("count-is-5", {"count": 5}),
+            StuckSignalDetector(["en"]),
+        ])
+        assert {f.detector for f in findings} == {"count-is-5",
+                                                  "stuck-signal"}
+        hit = next(f for f in findings if f.detector == "count-is-5")
+        assert (hit.start_cycle, hit.samples) == (5, 1)
+
+
+class TestRenderTimeline:
+    def test_levels_and_hex_lanes(self):
+        trace = make_trace(we=[0, 1, 1, 0], count=[0, 5, 15, 16])
+        trace.widths = {"we": 1, "count": 8}
+        art = render_timeline(trace)
+        lines = art.splitlines()
+        assert lines[0].startswith("cycle |0")
+        assert lines[1] == "we    |_~~_"
+        assert lines[2] == "count |05f#"
+
+    def test_range_marks_and_clipping(self):
+        trace = make_trace(v=list(range(10)))
+        art = render_timeline(trace, start=4, end=9, max_samples=4,
+                              marks=[7])
+        lines = art.splitlines()
+        assert lines[1] == "v     |6789"
+        assert lines[2] == "      | ^  "
+        assert "2 older sample(s) clipped" in lines[3]
+
+    def test_empty_and_unknown(self):
+        trace = make_trace(v=[1, 2, 3])
+        assert "no samples" in render_timeline(trace, start=99)
+        with pytest.raises(SimulationError):
+            render_timeline(trace, signals=["nope"])

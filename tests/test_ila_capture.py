@@ -58,6 +58,34 @@ class TestIlaCapture:
         assert ila.triggered_at is not None
         assert ila.triggered_at != first
 
+    @pytest.mark.parametrize("position", [0, 1, 7])
+    def test_trigger_position_boundary_matrix(self, position):
+        """The trigger sample must land in the window at every
+        position — the seed routed it through the circular pre-buffer,
+        so ``trigger_position=0`` evicted it immediately and
+        ``value_at(triggered_at, ...)`` raised."""
+        depth = 8
+        sim = counter_sim()
+        ila = IlaCore(sim, probes=("count",), depth=depth,
+                      trigger_position=position).attach()
+        ila.arm({"count": 20})
+        sim.step(40)
+        at = ila.triggered_at
+        assert at is not None
+        assert ila.value_at(at, "count") == 20
+        cycles = [s.cycle for s in ila.window]
+        assert cycles == list(range(at - position, at - position + depth))
+        values = [s.values["count"] for s in ila.window]
+        assert values == list(range(20 - position, 20 - position + depth))
+
+    def test_trigger_position_zero_window_starts_at_trigger(self):
+        sim = counter_sim()
+        ila = IlaCore(sim, probes=("count",), depth=4,
+                      trigger_position=0).attach()
+        ila.arm({"count": 9})
+        sim.step(20)
+        assert [s.values["count"] for s in ila.window] == [9, 10, 11, 12]
+
     def test_unprobed_signal_rejected_at_build(self):
         sim = counter_sim()
         with pytest.raises(DebugError):
