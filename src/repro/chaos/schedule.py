@@ -1,0 +1,310 @@
+"""Seeded, stack-wide fault schedules.
+
+The transport's :class:`~repro.config.transport.FaultPlan` perturbs one
+JTAG channel; the recovery tests' :class:`~repro.config.transport.CrashPlan`
+kills one host process. This module generalizes both into a single
+composable plan that can hit *every* layer of the stack — disk I/O under
+the journal, snapshot store, and compile caches; fabric lifecycle
+(clock-gate acks, the pause network, power cycles); the transport batch
+path; and the VTI compile scheduler — from one seeded stream, so a
+failing chaos campaign reproduces exactly from its seed.
+
+The mechanism is a global registry of **fault points**: instrumented
+code calls :func:`fault_point("journal.sync")` and receives either
+``None`` (the overwhelmingly common case — one dict lookup and a
+``None`` check, so the clean path stays within the <3% overhead gate)
+or a :class:`Fault` describing what to inject. The *effect* of a fault
+is implemented at the call site, where the bytes/frames/futures being
+damaged are in scope; this module only decides deterministically *when*
+a fault fires.
+
+Sites are matched by :mod:`fnmatch` pattern, so one spec can cover a
+family (``"planstore.*"``). Specs fire either on an exact visit index
+(``at=``, for boundary-sweep tests) or with a per-visit probability
+(``rate=``, for randomized campaigns), and every spec's total fire
+count is bounded by ``count`` — injected adversity is always finite, a
+precondition for the campaign's bounded-retry invariant.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Optional
+
+from ..errors import ChaosError
+from ..obs import get_registry
+
+#: Every fault kind a spec may request, and the sites that honor it.
+#: The table is documentation *and* validation: a spec naming a kind no
+#: site implements would silently never fire, so construction rejects
+#: unknown kinds and site/kind pairs outside this table.
+SITE_KINDS: dict[str, frozenset] = {
+    # disk I/O
+    "journal.sync": frozenset(
+        {"torn_write", "bit_rot", "enospc", "slow_sync"}),
+    "snapstore.put": frozenset({"torn_write", "bit_rot", "enospc"}),
+    "planstore.load": frozenset({"bit_rot"}),
+    "planstore.merge": frozenset({"torn_write", "enospc"}),
+    "vticache.load": frozenset({"bit_rot"}),
+    "vticache.store": frozenset({"torn_write", "enospc"}),
+    # fabric lifecycle
+    "transport.batch": frozenset({"device_hang", "power_cycle"}),
+    "fabric.gate_ack": frozenset({"gate_ack_drop"}),
+    "fabric.pause_write": frozenset({"pause_stuck"}),
+    # scheduler
+    "vti.worker": frozenset({"worker_death", "lost_future"}),
+    # kernel compilation
+    "sim.plan_compile": frozenset({"kernel_compile"}),
+    "sim.capture_kernel": frozenset({"kernel_compile"}),
+}
+
+KINDS = frozenset(kind for kinds in SITE_KINDS.values() for kind in kinds)
+
+
+def sites_for_kind(kind: str) -> list[str]:
+    """Every concrete site that implements ``kind``."""
+    return sorted(site for site, kinds in SITE_KINDS.items()
+                  if kind in kinds)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: where, what, when, and how often.
+
+    ``site`` is an fnmatch pattern over the table above. Exactly one of
+    ``at`` (fire on the N-th visit, 0-based) or ``rate`` (per-visit
+    probability) selects the firing discipline; ``count`` bounds total
+    fires; ``seconds`` attaches modeled extra latency (slow faults).
+    """
+
+    site: str
+    kind: str
+    rate: float = 0.0
+    at: Optional[int] = None
+    count: int = 1
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ChaosError(
+                f"unknown fault kind {self.kind!r}; known: "
+                f"{sorted(KINDS)}", kind="spec")
+        matches = [site for site, kinds in SITE_KINDS.items()
+                   if fnmatchcase(site, self.site)]
+        if not matches:
+            raise ChaosError(
+                f"fault site pattern {self.site!r} matches no known "
+                f"site; known: {sorted(SITE_KINDS)}", kind="spec")
+        if not any(self.kind in SITE_KINDS[site] for site in matches):
+            raise ChaosError(
+                f"no site matching {self.site!r} implements fault kind "
+                f"{self.kind!r} (it lives at "
+                f"{sites_for_kind(self.kind)})", kind="spec")
+        if self.at is None and not 0.0 < self.rate <= 1.0:
+            raise ChaosError(
+                f"spec needs either at= or a rate in (0, 1], got "
+                f"rate={self.rate}", kind="spec")
+        if self.count < 1:
+            raise ChaosError("fault count must be >= 1", kind="spec")
+
+    def matches(self, site: str) -> bool:
+        return fnmatchcase(site, self.site)
+
+
+@dataclass
+class Fault:
+    """What an armed fault point hands back to the instrumented code."""
+
+    site: str
+    kind: str
+    #: Modeled extra seconds the fault costs (slow syncs).
+    seconds: float
+    #: Seeded stream for the fault's *effect* (which byte tears, which
+    #: bit rots) so damage reproduces along with timing.
+    rng: random.Random
+    #: Visit index at which this fault fired.
+    visit: int
+
+
+@dataclass(frozen=True)
+class Injection:
+    """Audit-log entry: one fault that actually fired."""
+
+    site: str
+    kind: str
+    visit: int
+
+
+class FaultSchedule:
+    """An immutable, seeded set of :class:`FaultSpec`\\ s.
+
+    The schedule is the shareable artifact (campaigns log its seed and
+    specs); :meth:`registry` arms it into a fresh mutable
+    :class:`FaultRegistry` for one run, so the same schedule replays
+    identically as many times as needed.
+    """
+
+    def __init__(self, seed: int = 0, specs=()):
+        self.seed = seed
+        self.specs: tuple[FaultSpec, ...] = tuple(specs)
+        #: Optional transport channel-fault kwargs; composed into a
+        #: classic FaultPlan by :meth:`transport_plan` so one schedule
+        #: drives both layers from one place.
+        self.transport: dict[str, float] = {}
+
+    def with_transport(self, **rates) -> "FaultSchedule":
+        self.transport = dict(rates)
+        return self
+
+    def registry(self) -> "FaultRegistry":
+        return FaultRegistry(self)
+
+    def transport_plan(self):
+        """A seeded transport FaultPlan for this schedule (or None)."""
+        if not self.transport:
+            return None
+        from ..config.transport import FaultPlan
+        return FaultPlan(seed=self.seed, **self.transport)
+
+    def describe(self) -> str:
+        lines = [f"fault schedule seed={self.seed} "
+                 f"({len(self.specs)} spec(s))"]
+        for spec in self.specs:
+            when = (f"at visit {spec.at}" if spec.at is not None
+                    else f"rate {spec.rate:g}")
+            lines.append(f"  {spec.site}: {spec.kind} {when} "
+                         f"x{spec.count}")
+        for key, value in sorted(self.transport.items()):
+            lines.append(f"  transport channel: {key}={value:g}")
+        return "\n".join(lines)
+
+    @classmethod
+    def generate(cls, seed: int, max_faults: int = 3,
+                 transport_rate: float = 0.3) -> "FaultSchedule":
+        """A randomized (but seed-deterministic) campaign schedule.
+
+        Draws 1..``max_faults`` specs over the whole site table, firing
+        at small visit indices so short debugger workloads actually
+        reach them, plus (with probability ``transport_rate``) a mild
+        channel-fault plan.
+        """
+        rng = random.Random(seed)
+        specs = []
+        sites = sorted(SITE_KINDS)
+        for _ in range(rng.randint(1, max_faults)):
+            site = rng.choice(sites)
+            kind = rng.choice(sorted(SITE_KINDS[site]))
+            seconds = (round(rng.uniform(0.05, 0.4), 3)
+                       if kind == "slow_sync" else 0.0)
+            specs.append(FaultSpec(
+                site=site, kind=kind, at=rng.randrange(6),
+                count=rng.randint(1, 2), seconds=seconds))
+        schedule = cls(seed=seed, specs=specs)
+        if rng.random() < transport_rate:
+            schedule.with_transport(
+                read_flip_rate=round(rng.uniform(0.02, 0.1), 3),
+                drop_hop_rate=round(rng.uniform(0.0, 0.05), 3))
+        return schedule
+
+
+class FaultRegistry:
+    """One armed run of a :class:`FaultSchedule`.
+
+    Tracks per-site visit counters and per-spec fire counts, draws
+    rate-based fires from one seeded stream, and keeps an audit log of
+    every injection. Thread-safe: the VTI scheduler's workers hit fault
+    points concurrently.
+    """
+
+    def __init__(self, schedule: FaultSchedule):
+        self.schedule = schedule
+        self._rng = random.Random(schedule.seed)
+        self._lock = threading.Lock()
+        self._visits: dict[str, int] = {}
+        self._fired: dict[int, int] = {}
+        self.injections: list[Injection] = []
+        registry = get_registry()
+        self._m_injected = registry.counter("chaos.faults_injected")
+
+    def visit(self, site: str) -> Optional[Fault]:
+        """Record one visit to ``site``; the fault to inject, if any."""
+        with self._lock:
+            visit = self._visits.get(site, 0)
+            self._visits[site] = visit + 1
+            for index, spec in enumerate(self.schedule.specs):
+                if self._fired.get(index, 0) >= spec.count:
+                    continue
+                if not spec.matches(site):
+                    continue
+                if spec.at is not None:
+                    if visit != spec.at:
+                        continue
+                elif self._rng.random() >= spec.rate:
+                    continue
+                self._fired[index] = self._fired.get(index, 0) + 1
+                self.injections.append(
+                    Injection(site=site, kind=spec.kind, visit=visit))
+                self._m_injected.inc()
+                get_registry().counter(
+                    f"chaos.faults_injected.{spec.kind}").inc()
+                return Fault(site=site, kind=spec.kind,
+                             seconds=spec.seconds,
+                             rng=random.Random(self._rng.randrange(1 << 30)),
+                             visit=visit)
+        return None
+
+    def visits(self, site: str) -> int:
+        with self._lock:
+            return self._visits.get(site, 0)
+
+    @property
+    def faults_fired(self) -> int:
+        with self._lock:
+            return len(self.injections)
+
+
+# --------------------------------------------------------------------------
+# the process-global active registry
+# --------------------------------------------------------------------------
+
+#: The armed registry, or None (the permanent state outside chaos runs).
+_ACTIVE: Optional[FaultRegistry] = None
+
+
+def fault_point(site: str) -> Optional[Fault]:
+    """The fault to inject at ``site`` right now, or None.
+
+    This is the only chaos call on production paths; with no registry
+    installed it is a module-global load and a ``None`` check.
+    """
+    registry = _ACTIVE
+    if registry is None:
+        return None
+    return registry.visit(site)
+
+
+def chaos_active() -> bool:
+    return _ACTIVE is not None
+
+
+@contextmanager
+def install_chaos(registry: FaultRegistry):
+    """Arm ``registry`` as the process-wide fault source for a block.
+
+    Nesting is rejected — two overlapping schedules would make neither
+    reproducible from its seed.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise ChaosError(
+            "a fault registry is already installed; chaos runs do not "
+            "nest", kind="install")
+    _ACTIVE = registry
+    try:
+        yield registry
+    finally:
+        _ACTIVE = None

@@ -142,6 +142,30 @@ class FabricDevice:
         self._shutdown = True
         self._apply_gates()
 
+    def power_cycle(self) -> None:
+        """The card lost power and rebooted (chaos fault, or a real
+        bench mishap).
+
+        Everything volatile is gone: the running design's state, cycle
+        counters, clock-gate masks, and host-side pause latches. The
+        configuration image survives in our model (the bitstream was
+        verified into config memory and the card re-programs from it on
+        boot — the paper's warm-boot flow), so the design comes back up
+        at its *initial* state, exactly like the first START. Sessions
+        attached to this fabric must go through recovery; their journal
+        replays onto the rebooted design deterministically.
+        """
+        self._gate_mask = 0
+        self._shutdown = False
+        if self._booted_db is not None:
+            self.db = self._booted_db
+            self.sim = Simulator(self.db.netlist, clocks=self.db.clocks)
+            self.booted = True
+            self._apply_gates()
+        else:
+            self.sim = None
+            self.booted = False
+
     def _verify_image(self) -> None:
         assert self.db is not None
         for slr_index in range(self.device.slr_count):
@@ -202,6 +226,14 @@ class FabricDevice:
     # ------------------------------------------------------------------
 
     def set_clock_gates(self, mask: int, source_slr: int) -> None:
+        from ..chaos.schedule import fault_point
+        fault = fault_point("fabric.gate_ack")
+        if fault is not None and fault.kind == "gate_ack_drop":
+            # The write was acked on the ring but the gate-control
+            # fabric dropped it: neither the mask register nor the
+            # BUFGCEs change. Silent — callers that care verify via
+            # is_gated() and re-issue (see ZoomieDebugger._safe_pause).
+            return
         self._gate_mask = mask
         self._apply_gates()
 
@@ -223,6 +255,13 @@ class FabricDevice:
                 or bool(self._gate_mask & (1 << bit)) \
                 or requests.get(domain, False)
             self.sim.set_clock_gate(domain, gated)
+
+    @property
+    def gate_mask(self) -> int:
+        """The host-written gate mask the control plane last accepted —
+        what gate-ack verification reads back (design-driven gate
+        *requests* are not in it)."""
+        return self._gate_mask
 
     def is_gated(self, domain: str) -> bool:
         self._require_booted()

@@ -198,18 +198,45 @@ class CrashPlan:
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Bounded retry with exponential backoff (modeled seconds)."""
+    """Bounded retry with exponential backoff (modeled seconds).
+
+    ``jitter`` de-synchronizes concurrent sessions: with N debuggers
+    sharing a fabric fleet, lockstep exponential backoff re-collides
+    every retry wave. A non-zero jitter spreads each backoff uniformly
+    over ``[backoff * (1 - jitter), backoff * (1 + jitter)]`` (capped
+    at ``max_backoff_seconds``), drawn from a dedicated
+    ``random.Random(jitter_seed)`` stream so a given policy instance
+    replays its exact backoff sequence — deterministic adversity, like
+    everything else in this stack. With ``jitter=0.0`` (the default)
+    the arithmetic is bit-identical to the pre-jitter policy.
+    """
 
     max_attempts: int = 6
     backoff_seconds: float = 0.01
     backoff_multiplier: float = 2.0
     max_backoff_seconds: float = 0.25
+    jitter: float = 0.0
+    jitter_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(
+                f"jitter must be in [0, 1), got {self.jitter}")
+        # The dataclass is frozen; the RNG is mutable companion state
+        # (like FaultPlan's), not part of the policy's value.
+        object.__setattr__(
+            self, "_rng", random.Random(self.jitter_seed))
 
     def backoff_for(self, failure: int) -> float:
         """Backoff after the ``failure``-th failed attempt (1-based)."""
-        return min(
+        base = min(
             self.backoff_seconds * self.backoff_multiplier ** (failure - 1),
             self.max_backoff_seconds)
+        if not self.jitter:
+            return base
+        spread = base * self.jitter
+        return min(base - spread + self._rng.random() * 2.0 * spread,
+                   self.max_backoff_seconds)
 
 
 @dataclass
@@ -268,6 +295,11 @@ class VerifiedTransport:
             "transport.batch_seconds")
         #: Injected host-death schedule (see :class:`CrashPlan`).
         self.crash_plan: Optional[CrashPlan] = None
+        #: Optional per-fabric circuit breaker
+        #: (:class:`~repro.chaos.supervise.CircuitBreaker`): consulted
+        #: before every batch, fed every terminal outcome. None (the
+        #: default) costs one attribute check per batch.
+        self.breaker = None
         #: Modeled-seconds budget of the *current guarded operation*
         #: (the debugger's watchdog window); None = no deadline. All
         #: batches inside the window — including successful ones and
@@ -361,13 +393,30 @@ class VerifiedTransport:
     def _run_verified(self, words: list[int]) -> "JtagResult":
         if self.crash_plan is not None:
             self.crash_plan.observe_batch()
+        if self.breaker is not None:
+            # May raise CircuitOpenError — refused without touching the
+            # channel, charging nothing, counting nothing: the whole
+            # point of the breaker.
+            self.breaker.allow()
         self.stats.batches += 1
         if self._deadline_expired():
             raise TransportError(
                 "operation deadline already exhausted before this "
                 "batch", kind="deadline")
+        try:
+            result = self._run_attempts(words)
+        except TransportError:
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise
+        if self.breaker is not None:
+            self.breaker.record_success()
+        return result
+
+    def _run_attempts(self, words: list[int]) -> "JtagResult":
         if self.plan is None:
             self.stats.attempts += 1
+            self._check_chaos(words)
             result = self.ring.run(words)
             self._verify(result.read_words, len(result.read_words),
                          result.read_crc)
@@ -384,6 +433,10 @@ class VerifiedTransport:
                 wasted += error.seconds
                 self.stats.seconds_in_retry += error.seconds
                 self._charge_deadline(error.seconds)
+                if not error.retryable:
+                    # A permanent per-attempt fault: retrying the same
+                    # batch cannot help, surface it now.
+                    raise
                 if self._deadline_expired():
                     break
                 if attempt < self.policy.max_attempts:
@@ -419,10 +472,42 @@ class VerifiedTransport:
 
     # ------------------------------------------------------------------
 
+    def _check_chaos(self, words: list[int]) -> None:
+        """Fabric-lifecycle faults injected per batch attempt.
+
+        ``device_hang`` is a transient non-response of the whole card
+        (retryable, charged like a stuck controller); ``power_cycle``
+        reboots the card mid-batch — the design restarts from its init
+        state, and the error is terminal for the session (recovery on
+        the rebooted or a fresh fabric is the only way forward).
+        """
+        from ..chaos.schedule import fault_point
+        fault = fault_point("transport.batch")
+        if fault is None:
+            return
+        from .jtag import BATCH_OVERHEAD_SECONDS, JTAG_BYTES_PER_SECOND
+        seconds = BATCH_OVERHEAD_SECONDS \
+            + len(words) * 4 / JTAG_BYTES_PER_SECOND
+        if fault.kind == "device_hang":
+            self.ring.total_seconds += seconds
+            self.stats.stuck_detected += 1
+            raise TransportError(
+                "device hung: no TDO activity for the whole batch "
+                "window (injected)", kind="hang", seconds=seconds)
+        if fault.kind == "power_cycle":
+            self.ring.total_seconds += seconds
+            self.ring.fabric.power_cycle()
+            from ..errors import ChaosError
+            raise ChaosError(
+                "fabric power-cycled mid-batch (injected): design "
+                "state is gone; recover the session", kind="power_cycle",
+                retryable=False)
+
     def _attempt(self, words: list[int]) -> "JtagResult":
         from .jtag import BATCH_OVERHEAD_SECONDS, JTAG_BYTES_PER_SECOND
         plan = self.plan
         assert plan is not None
+        self._check_chaos(words)
 
         # Command path: the primary controller checks the stream framing
         # (word count + CRC) before executing anything — a dropped hop

@@ -61,6 +61,12 @@ Commands:
                                     registry
   vti cache stats [--json]          VTI compile-cache hit/miss counters
   vti cache clear                   drop every cached compile artifact
+  chaos run [schedules=N] [seed=S]  run a seeded fault-injection campaign
+      [designs=a,b] [workdir=DIR]   over stock designs (see
+                                    repro.chaos.campaign); prints the
+                                    invariant report
+  chaos sites                       list fault-injection sites and kinds
+  chaos fallbacks                   list documented degradation paths
   trace-capture N SIG [SIG ...]     stream-capture signals while running N
       [stride=K] [depth=D]          cycles (in-kernel ring capture; prints
       [vcd=FILE]                    an ASCII timeline, optional VCD export)
@@ -108,6 +114,7 @@ class ZoomieCli:
             "recover": self._cmd_recover,
             "stats": self._cmd_stats,
             "vti": self._cmd_vti,
+            "chaos": self._cmd_chaos,
             "trace": self._cmd_trace,
             "trace-capture": self._cmd_trace_capture,
             "help": lambda args: _HELP,
@@ -366,6 +373,53 @@ class ZoomieCli:
             dropped = cache.clear()
             return f"compile cache cleared ({dropped} entry(ies))"
         raise ValueError(usage)
+
+    def _cmd_chaos(self, args: list[str]) -> str:
+        usage = ("usage: chaos run [schedules=N] [seed=S] "
+                 "[designs=a,b] [workdir=DIR] | chaos sites | "
+                 "chaos fallbacks")
+        if not args:
+            raise ValueError(usage)
+        verb, rest = args[0], args[1:]
+        if verb == "sites" and not rest:
+            from ..chaos.schedule import SITE_KINDS
+            return "\n".join(
+                f"{site}: {', '.join(sorted(kinds))}"
+                for site, kinds in sorted(SITE_KINDS.items()))
+        if verb == "fallbacks" and not rest:
+            from ..chaos.supervise import DOCUMENTED_FALLBACKS
+            return "\n".join(
+                f"{name}: {why}"
+                for name, why in sorted(DOCUMENTED_FALLBACKS.items()))
+        if verb != "run":
+            raise ValueError(usage)
+        from ..chaos.campaign import CampaignConfig, run_campaign
+        schedules, seed = 10, 2024
+        designs = CampaignConfig.designs
+        workdir = None
+        for arg in rest:
+            key, sep, value = arg.partition("=")
+            if not sep:
+                raise ValueError(usage)
+            if key == "schedules":
+                schedules = _parse_value(value)
+            elif key == "seed":
+                seed = _parse_value(value)
+            elif key == "designs":
+                designs = tuple(value.split(","))
+            elif key == "workdir":
+                workdir = value
+            else:
+                raise ValueError(usage)
+        config = CampaignConfig(schedules=schedules, seed=seed,
+                                designs=designs)
+        if workdir is None:
+            import tempfile
+            with tempfile.TemporaryDirectory() as tmp:
+                report = run_campaign(config, tmp)
+        else:
+            report = run_campaign(config, workdir)
+        return report.describe()
 
     def _cmd_trace_capture(self, args: list[str]) -> str:
         usage = ("usage: trace-capture CYCLES SIG [SIG ...] "

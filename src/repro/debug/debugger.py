@@ -21,6 +21,8 @@ from contextlib import contextmanager
 from typing import Optional
 
 from ..bitstream.assembler import BitstreamAssembler
+from ..chaos.schedule import fault_point
+from ..chaos.supervise import get_supervisor
 from ..config.fabric import FabricDevice
 from ..errors import (
     BreakpointError,
@@ -234,21 +236,44 @@ class ZoomieDebugger:
         The gates live on the primary SLR's always-reachable controller
         (paper Section 4.2), so this works even when the fault is a
         stuck *secondary* — the design freezes and the session stays
-        inspectable after recovery or repair.
+        inspectable after recovery or repair. Under supervision the
+        gate write is *verified* (the control plane can drop an ack)
+        and re-issued a bounded number of times.
         """
         db = self.fabric.db
         assert db is not None
         mask = 0
         for bit in db.domain_bits.values():
             mask |= 1 << bit
-        self.fabric.set_clock_gates(mask, self.fabric.device.primary_slr)
+        self._verified_gate_write(mask)
         self.safe_paused = True
 
     def _clear_safe_pause(self) -> None:
         if self.safe_paused:
-            self.fabric.set_clock_gates(
-                0, self.fabric.device.primary_slr)
+            self._verified_gate_write(0)
             self.safe_paused = False
+
+    def _verified_gate_write(self, mask: int) -> None:
+        """Write the global gate mask; supervised sessions verify the
+        control plane accepted it (dropped gate acks are a chaos fault)
+        and re-issue up to ``pause_retries`` times. Unsupervised, this
+        is exactly one write — the historical behaviour."""
+        sup = get_supervisor()
+        attempts = 0
+        while True:
+            attempts += 1
+            self.fabric.set_clock_gates(
+                mask, self.fabric.device.primary_slr)
+            if not sup.enabled:
+                return
+            if self.fabric.gate_mask == mask:
+                return
+            if attempts > sup.config.pause_retries:
+                # Best effort: the caller's error (if any) still
+                # surfaces; an unacked emergency stop is better
+                # reported than spun on forever.
+                return
+            sup.record_retry("fabric.gate_ack")
 
     # ------------------------------------------------------------------
     # run control
@@ -299,10 +324,39 @@ class ZoomieDebugger:
         return ran
 
     def pause(self) -> None:
-        """Host-initiated pause (e.g. the design appears hung)."""
+        """Host-initiated pause (e.g. the design appears hung).
+
+        The pause network can silently drop the latch write (a chaos
+        fault modeling the real stuck-pause-tree failure). Supervised
+        sessions verify the design actually paused and re-issue the
+        write a bounded number of times, then escalate to the primary
+        controller's emergency clock gates — the documented
+        ``pause.emergency_gates`` fallback.
+        """
         with self._traced("pause"), self._journaled("pause"), \
                 self._op_guard("pause"):
-            self._write_registers({self.inst.spec.host_pause_reg: 1})
+            sup = get_supervisor()
+            attempts = 0
+            while True:
+                attempts += 1
+                fault = fault_point("fabric.pause_write")
+                if fault is None:
+                    self._write_registers(
+                        {self.inst.spec.host_pause_reg: 1})
+                # else: the write was acked on the ring but the pause
+                # network never latched it — detectable only by
+                # verifying the pause actually took.
+                if not sup.enabled or self.is_paused():
+                    return
+                if attempts > sup.config.pause_retries:
+                    sup.note_degradation(
+                        "pause.emergency_gates",
+                        site="fabric.pause_write",
+                        detail=f"pause unacked after {attempts - 1} "
+                               f"retries")
+                    self._safe_pause()
+                    return
+                sup.record_retry("fabric.pause_write")
 
     def resume(self, clear_triggers: bool = True) -> None:
         """Clear the pause latch and continue.
@@ -410,7 +464,17 @@ class ZoomieDebugger:
                 self._journaled("trace_capture", signals=signals,
                                 cycles=cycles, stride=stride, depth=depth):
             self.fabric.sync_gates()
-            if self._capture_fast_path_ok():
+            fast = self._capture_fast_path_ok()
+            if fast and fault_point("sim.capture_kernel") is not None:
+                # The fused capture kernel failed to build (injected):
+                # fall back to hook-based per-edge recording. Design
+                # cycles are identical either way; only sampling speed
+                # (and stride, which hooks ignore) degrades.
+                get_supervisor().note_degradation(
+                    "trace.streaming_to_hook", site="sim.capture_kernel",
+                    detail=f"{len(signals)} signals x {cycles} cycles")
+                fast = False
+            if fast:
                 trace = StreamingTrace(sim, signals, domain=domain,
                                        depth=depth, stride=stride)
                 trace.run(cycles)

@@ -32,7 +32,8 @@ from pathlib import Path
 from typing import Iterable, Optional
 
 from ..bitstream.crc import crc32_stream
-from ..errors import JournalCorruptError, JournalError
+from ..chaos.supervise import note_degradation, run_io
+from ..errors import DiskFaultError, JournalCorruptError, JournalError
 from ..obs import get_registry, get_tracer
 
 #: Bound at import; the singletons are mutated in place, never replaced.
@@ -244,19 +245,75 @@ class CommandJournal:
         return record
 
     def sync(self) -> None:
-        """Durability point: flush pending records to the file."""
+        """Durability point: flush pending records to the file.
+
+        The write is a supervised I/O operation
+        (:func:`~repro.chaos.supervise.run_io`): chaos schedules can
+        tear it, rot it, fill the disk, or slow it down, and the
+        supervisor bounds retries and modeled latency. A torn sync is
+        repaired by truncating the file back to the durable prefix
+        before re-issuing the whole pending batch — re-appending after
+        a *partial* landing would duplicate records.
+        """
         if not self._pending:
             return
         flushed = len(self._pending)
+        payload = "".join(self._pending)
         with _TRACER.span("journal.sync", records=flushed):
-            with self.path.open("a") as stream:
-                stream.writelines(self._pending)
-                stream.flush()
-                os.fsync(stream.fileno())
+            run_io("journal.sync", len(payload.encode("utf-8")),
+                   self._sync_attempt, repair=self._repair_tail)
             self._durable = self._count
             self._pending.clear()
         self._m_syncs.inc()
         self._m_synced.inc(flushed)
+
+    def _sync_attempt(self, fault) -> None:
+        """One append attempt, applying an injected fault's effect."""
+        payload = "".join(self._pending)
+        data = payload.encode("utf-8")
+        if fault is not None and fault.kind == "enospc":
+            raise DiskFaultError(
+                f"journal sync failed: no space left on device "
+                f"(injected, {len(data)} bytes pending)", kind="enospc")
+        if fault is not None and fault.kind == "torn_write":
+            # The classic crash artifact: a strict prefix of the batch
+            # reaches the platter. The prefix may still contain whole
+            # framed records — _repair_tail handles both.
+            torn = data[:fault.rng.randrange(max(1, len(data)))]
+            with self.path.open("ab") as stream:
+                stream.write(torn)
+                stream.flush()
+                os.fsync(stream.fileno())
+            raise DiskFaultError(
+                f"journal sync torn after {len(torn)} of {len(data)} "
+                f"bytes (injected)", kind="torn_write")
+        with self.path.open("a") as stream:
+            stream.write(payload)
+            stream.flush()
+            os.fsync(stream.fileno())
+        if fault is not None and fault.kind == "bit_rot":
+            # Silent at-rest damage: flips a bit in the records just
+            # written. Undetectable at sync time by design — read_journal
+            # catches it via the per-record CRC32 on recovery.
+            raw = self.path.read_bytes()
+            if len(raw) > len(data):
+                index = len(raw) - fault.rng.randrange(1, len(data) + 1)
+                flipped = raw[:index] + bytes(
+                    [raw[index] ^ (1 << fault.rng.randrange(7))]) \
+                    + raw[index + 1:]
+                self.path.write_bytes(flipped)
+
+    def _repair_tail(self, error=None) -> None:
+        """Truncate the file back to the durable prefix after a torn
+        sync, so the retry re-appends the full pending batch exactly
+        once. Durable records were fsynced by earlier syncs and are
+        intact; everything after them is the torn batch."""
+        text = self.path.read_text()
+        lines = text.split("\n")
+        keep = lines[:1 + self._durable]
+        self.path.write_text("\n".join(keep) + "\n")
+        note_degradation("journal.tail_repair", site="journal.sync",
+                         detail=f"truncated to {self._durable} records")
 
     def drop_pending(self) -> int:
         """Modeled crash: abandon un-synced records (returns how many).

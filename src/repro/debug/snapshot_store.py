@@ -22,7 +22,8 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Optional
 
-from ..errors import SnapshotFormatError, SnapshotIntegrityError
+from ..chaos.supervise import run_io
+from ..errors import DiskFaultError, SnapshotFormatError, SnapshotIntegrityError
 from ..obs import get_registry, get_tracer
 from .journal import payload_crc
 from .state import StateSnapshot
@@ -75,12 +76,43 @@ class SnapshotStore:
             data = body.encode("utf-8")
             header = (f"{STORE_MAGIC} {len(data):08x} "
                       f"{payload_crc(body):08x}\n")
-            tmp = path.with_suffix(".tmp")
-            tmp.write_text(header + body)
-            tmp.rename(path)
+
+            def attempt(fault) -> None:
+                self._put_attempt(path, header, body, fault)
+
+            run_io("snapstore.put", len(data), attempt)
             if span is not None:
                 span.set(key=key[:12], dedup=False, bytes=len(data))
             return key
+
+    def _put_attempt(self, path: Path, header: str, body: str,
+                     fault) -> None:
+        """One store attempt; injected faults damage the object the way
+        real filesystems do (torn rename target, silent rot)."""
+        if fault is not None and fault.kind == "enospc":
+            raise DiskFaultError(
+                "snapshot store full: no space left on device "
+                "(injected)", kind="enospc")
+        if fault is not None and fault.kind == "torn_write":
+            # Models the no-journal filesystem failure mode: the rename
+            # landed but the object's data blocks did not all reach the
+            # platter. The key now names a corrupt object — exactly what
+            # get()'s three integrity checks exist to catch.
+            text = header + body
+            path.write_text(text[:fault.rng.randrange(
+                len(header), len(text))])
+            raise DiskFaultError(
+                f"snapshot write torn (injected, {path.name})",
+                kind="torn_write")
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(header + body)
+        tmp.rename(path)
+        if fault is not None and fault.kind == "bit_rot":
+            raw = path.read_bytes()
+            index = fault.rng.randrange(len(header), len(raw))
+            path.write_bytes(raw[:index] + bytes(
+                [raw[index] ^ (1 << fault.rng.randrange(7))])
+                + raw[index + 1:])
 
     def get(self, key: str) -> StateSnapshot:
         """Load and verify one snapshot."""

@@ -4,13 +4,37 @@ Every package-specific error derives from :class:`ReproError` so callers can
 catch the whole family with one clause. Sub-families mirror the package
 structure: RTL construction, elaboration, simulation, SVA synthesis, the
 vendor flow, configuration/bitstream handling, and debugging.
+
+Every error carries a ``retryable`` classification: whether re-issuing
+the *same* operation against the *same* resource can plausibly succeed
+(transient channel faults, torn disk writes) or cannot (corrupt durable
+records, exhausted retry budgets, dead sessions). Supervisors and the
+chaos harness branch on it via :func:`is_retryable` instead of matching
+exception types ad hoc.
 """
 
 from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    ``retryable`` is a conservative default of False; subclasses (or
+    instances) that model transient faults override it.
+    """
+
+    #: Whether re-issuing the failed operation can plausibly succeed.
+    retryable: bool = False
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Whether ``error`` models a transient fault worth re-attempting.
+
+    Errors outside this library's taxonomy (including raw ``OSError``)
+    classify as non-retryable: without a model of the fault there is no
+    basis to expect a retry to behave differently.
+    """
+    return bool(getattr(error, "retryable", False))
 
 
 # --------------------------------------------------------------------------
@@ -110,6 +134,10 @@ class TransportError(JtagError):
         self.kind = kind
         self.attempts = attempts
         self.seconds = seconds
+        # Per-attempt channel faults are transient; an *exhausted*
+        # transaction (attempts set) or a spent deadline is final — the
+        # bounded retry already happened one layer down.
+        self.retryable = attempts == 0 and kind != "deadline"
 
 
 class CorruptReadbackError(TransportError):
@@ -258,6 +286,56 @@ class DebugTimeoutError(DebugError):
         self.operation = operation
         self.deadline_seconds = deadline_seconds
         self.spent_seconds = spent_seconds
+
+
+class ChaosError(ReproError):
+    """An injected chaos fault surfaced to the caller unhandled.
+
+    Raised by :mod:`repro.chaos` fault points whose effect is not a
+    more specific typed error (scheduler worker death, lost futures,
+    fabric power cycles). ``kind`` names the injected fault class;
+    ``retryable`` says whether re-running the operation can succeed
+    (a restarted compile worker) or not (a power-cycled fabric whose
+    session state is gone).
+    """
+
+    def __init__(self, message: str, kind: str = "chaos",
+                 retryable: bool = False):
+        super().__init__(message)
+        self.kind = kind
+        self.retryable = retryable
+
+
+class DiskFaultError(ChaosError):
+    """An injected disk-I/O fault (torn write, bit-rot, ENOSPC).
+
+    ``kind`` is ``"torn_write"``, ``"bit_rot"``, ``"enospc"``, or
+    ``"slow_sync"``. Torn and slow writes are transient — the supervisor
+    repairs and re-issues them; a full disk is not fixed by retrying.
+    """
+
+    RETRYABLE_KINDS = frozenset({"torn_write", "slow_sync", "bit_rot"})
+
+    def __init__(self, message: str, kind: str = "torn_write"):
+        super().__init__(message, kind=kind,
+                         retryable=kind in self.RETRYABLE_KINDS)
+
+
+class CircuitOpenError(ReproError):
+    """A per-fabric circuit breaker is open: the operation was refused
+    without touching the channel.
+
+    Repeated transport failures tripped the breaker; callers must back
+    off (modeled cooldown) or escalate to session recovery on a fresh
+    fabric instead of hammering a sick one. Not retryable by
+    definition — the breaker exists to stop retries.
+    """
+
+    def __init__(self, message: str, failures: int = 0,
+                 cooldown_seconds: float = 0.0):
+        super().__init__(message)
+        self.failures = failures
+        self.cooldown_seconds = cooldown_seconds
 
 
 class FormalError(ReproError):

@@ -35,6 +35,9 @@ import zlib
 from pathlib import Path
 from typing import Optional
 
+from ..chaos.schedule import fault_point
+from ..chaos.supervise import note_degradation
+from ..errors import DiskFaultError
 from ..obs import get_registry
 
 #: Header magic of every stored plan file.
@@ -51,6 +54,21 @@ DEFAULT_DISK_LIMIT = 128
 ENV_VAR = "ZOOMIE_PLAN_CACHE"
 
 _OFF_VALUES = {"", "off", "0", "no", "none", "disabled"}
+
+
+def _flip_byte(path: Path, rng) -> None:
+    """Injected bit-rot: flip one low bit of a stored file (ASCII-safe
+    so decode still succeeds and the CRC check does the catching)."""
+    try:
+        raw = path.read_bytes()
+        if not raw:
+            return
+        index = rng.randrange(len(raw))
+        path.write_bytes(raw[:index]
+                         + bytes([raw[index] ^ (1 << rng.randrange(7))])
+                         + raw[index + 1:])
+    except OSError:
+        pass
 
 
 def resolve_env(value: Optional[str]) -> Optional[Path]:
@@ -119,10 +137,24 @@ class PlanDiskStore:
     def _read(self, fingerprint: str,
               count_defects: bool) -> Optional[dict[str, str]]:
         path = self._path(fingerprint)
+        fault = fault_point("planstore.load")
+        if fault is not None and fault.kind == "bit_rot" and path.exists():
+            _flip_byte(path, fault.rng)
         try:
             if not path.exists():
                 return None
             text = path.read_text()
+        except FileNotFoundError:
+            # A concurrent evictor (another process) deleted the entry
+            # between the existence check and the read: a plain miss,
+            # not rot — the entry was valid, it is just gone.
+            return None
+        except OSError:
+            if count_defects:
+                self.stats["integrity_failures"] += 1
+                self._m_bad.inc()
+            return None
+        try:
             newline = text.index("\n")
             magic, length_hex, crc_hex = text[:newline].split(" ")
             if magic != PLAN_MAGIC:
@@ -152,6 +184,9 @@ class PlanDiskStore:
             if count_defects:
                 self.stats["integrity_failures"] += 1
                 self._m_bad.inc()
+                note_degradation("cache.cold_recompile",
+                                 site="planstore.load",
+                                 detail=fingerprint[:12])
             return None
 
     def note_defect(self) -> None:
@@ -159,6 +194,8 @@ class PlanDiskStore:
         longer compiles); the caller regenerates and overwrites."""
         self.stats["integrity_failures"] += 1
         self._m_bad.inc()
+        note_degradation("cache.cold_recompile", site="planstore.load",
+                         detail="stored source failed to compile")
 
     # -- store -------------------------------------------------------------
 
@@ -181,20 +218,48 @@ class PlanDiskStore:
             header = (f"{PLAN_MAGIC} {len(data):08x} "
                       f"{zlib.crc32(data) & 0xFFFFFFFF:08x}\n")
             path = self._path(fingerprint)
+            fault = fault_point("planstore.merge")
+            if fault is not None:
+                self._faulted_merge(path, header + body, fault)
+                return
             tmp = path.with_suffix(".tmp")
             tmp.write_text(header + body)
             tmp.rename(path)
             self.stats["stores"] += 1
             self._m_stores.inc()
             self._evict(keep=path)
-        except OSError:
-            pass
+        except (OSError, DiskFaultError):
+            # Persistence is an optimization; a failed store degrades to
+            # memory-only caching, never an error.
+            note_degradation("cache.write_skipped", site="planstore.merge")
+
+    def _faulted_merge(self, path: Path, text: str, fault) -> None:
+        """Apply an injected merge fault (torn file or full disk)."""
+        if fault.kind == "enospc":
+            raise DiskFaultError(
+                "plan store full: no space left on device (injected)",
+                kind="enospc")
+        # torn_write: a partial object lands under the final name — the
+        # next load's CRC check reads it as a counted defect and the
+        # caller regenerates (self-healing).
+        path.write_text(text[:fault.rng.randrange(
+            len(PLAN_MAGIC), len(text))])
+        raise DiskFaultError(
+            f"plan store merge torn (injected, {path.name})",
+            kind="torn_write")
 
     def _evict(self, keep: Path) -> None:
         """Drop the oldest plan files beyond :attr:`limit` (never the
         one just written)."""
-        entries = sorted(self.root.glob(f"*{SUFFIX}"),
-                         key=lambda p: p.stat().st_mtime)
+        def mtime(path: Path) -> float:
+            # A concurrent evictor may delete entries mid-scan; sort
+            # vanished files first — unlinking them below is a no-op.
+            try:
+                return path.stat().st_mtime
+            except OSError:
+                return 0.0
+
+        entries = sorted(self.root.glob(f"*{SUFFIX}"), key=mtime)
         excess = len(entries) - self.limit
         for path in entries:
             if excess <= 0:

@@ -40,6 +40,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from .._bits import truncate
+from ..chaos.schedule import fault_point
+from ..chaos.supervise import note_degradation
 from ..errors import SimulationError, UnknownSignalError
 from ..obs import get_registry, get_tracer
 from ._codegen import compiled_plan_for
@@ -132,6 +134,18 @@ class Simulator:
         # Pre-compile (or look up) the evaluation plan.
         if self._compiled:
             plan = compiled_plan_for(netlist)
+            if (engine == ENGINE_FUSED
+                    and fault_point("sim.plan_compile") is not None):
+                # The fused-kernel compile failed (injected): degrade to
+                # the closure engine, which evaluates the same plan
+                # through per-register closures — bit-identical results,
+                # just slower. The paper's "never lose the session to a
+                # tooling fault" stance applied to our own codegen.
+                note_degradation(
+                    "sim.fused_to_closures", site="sim.plan_compile",
+                    detail=netlist.fingerprint()[:12])
+                engine = ENGINE_CLOSURES
+                self.engine = engine
             self._plan = plan
             self._regs_by_domain = plan.regs_by_domain
             self._reg_meta = plan.reg_meta

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from graphlib import TopologicalSorter
+from graphlib import CycleError, TopologicalSorter
 
 from .._bits import clog2
 from ..rtl.expr import (
@@ -181,7 +181,7 @@ def _module_levels(module: Module) -> int:
         sorter.add(target, *deps)
     try:
         order = list(sorter.static_order())
-    except Exception:
+    except CycleError:
         return 8  # cyclic (caught elsewhere); report something bounded
     for target in order:
         expr = module.assigns.get(target)

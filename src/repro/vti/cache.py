@@ -31,7 +31,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
 
+from ..chaos.schedule import fault_point
+from ..chaos.supervise import note_degradation
 from ..config.logic_loc import LLEntry
+from ..errors import DiskFaultError
 from ..obs import get_registry
 from ..rtl.module import Module
 from ..rtl.netlist import Netlist
@@ -344,7 +347,10 @@ class CompileCache:
             self._entries.clear()
             if self.root is not None:
                 for path in self.root.glob(f"*{SUFFIX}"):
-                    path.unlink()
+                    try:
+                        path.unlink()
+                    except FileNotFoundError:
+                        continue  # concurrent clear/evict got it first
                     dropped += 1
             self._m_entries.set(0)
             return dropped
@@ -380,9 +386,25 @@ class CompileCache:
         header = (f"{CACHE_MAGIC} {len(data):08x} "
                   f"{zlib.crc32(data) & 0xFFFFFFFF:08x}\n")
         path = self._disk_path(entry.fingerprint)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(header + body)
-        tmp.rename(path)
+        fault = fault_point("vticache.store")
+        if fault is not None:
+            # Failed persistence degrades to memory-only: the in-memory
+            # entry is already filed, so correctness is untouched. A
+            # torn write leaves a partial object the next load counts
+            # as an integrity failure and overwrites.
+            if fault.kind == "torn_write":
+                text = header + body
+                path.write_text(text[:fault.rng.randrange(
+                    len(CACHE_MAGIC), len(text))])
+            note_degradation("cache.write_skipped", site="vticache.store",
+                             detail=fault.kind)
+            return
+        try:
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(header + body)
+            tmp.rename(path)
+        except OSError:
+            note_degradation("cache.write_skipped", site="vticache.store")
 
     def _load_disk(self, fingerprint: str) -> Optional[CacheEntry]:
         """Load one entry from disk; any defect is a miss, not an error.
@@ -394,10 +416,24 @@ class CompileCache:
         if self.root is None:
             return None
         path = self._disk_path(fingerprint)
+        fault = fault_point("vticache.load")
+        if fault is not None and fault.kind == "bit_rot" and path.exists():
+            from ..rtl.plan_store import _flip_byte
+            _flip_byte(path, fault.rng)
         if not path.exists():
             return None
         try:
             text = path.read_text()
+        except FileNotFoundError:
+            # Concurrent deletion (another process clearing or evicting
+            # the shared store) between the existence check and the
+            # read: a plain miss, never an error or a counted defect.
+            return None
+        except OSError:
+            self.stats.integrity_failures += 1
+            self._m_bad.inc()
+            return None
+        try:
             newline = text.index("\n")
             magic, length_hex, crc_hex = text[:newline].split(" ")
             if magic != CACHE_MAGIC:
@@ -417,6 +453,8 @@ class CompileCache:
         except (ValueError, KeyError, IndexError, TypeError, OSError):
             self.stats.integrity_failures += 1
             self._m_bad.inc()
+            note_degradation("cache.cold_recompile", site="vticache.load",
+                             detail=fingerprint[:12])
             return None
 
     # -- reporting ---------------------------------------------------------

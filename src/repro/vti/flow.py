@@ -23,10 +23,12 @@ from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Optional
 
+from ..chaos.schedule import fault_point
+from ..chaos.supervise import get_supervisor, note_degradation
 from ..config.database import DesignDatabase, synthesize_frame_words
 from ..config.logic_loc import LogicLocationFile
 from ..config.program import build_partial_bitstream
-from ..errors import PartitionError
+from ..errors import ChaosError, PartitionError
 from ..fpga.device import Device
 from ..obs import get_registry, get_tracer
 
@@ -399,10 +401,39 @@ class VtiFlow:
 
         def compile_one(path: str
                         ) -> tuple[VtiIncrementalResult, float]:
+            fault = fault_point("vti.worker")
+            if fault is not None:
+                # A scheduler fault: the worker dies (or its future is
+                # lost) before producing a result. The partition's
+                # version is already claimed, so an inline restart by
+                # the supervisor compiles to the identical artifact.
+                raise ChaosError(
+                    f"vti worker for {path!r} failed: {fault.kind} "
+                    f"(injected)", kind=fault.kind, retryable=True)
             start = time.perf_counter()
             result = self._compile_incremental(
                 initial, path, changes[path], version=versions[path])
             return result, time.perf_counter() - start
+
+        def collect(path: str, run):
+            """Run (or fetch) one partition's compile, restarting a
+            dead worker inline under supervision — deterministic
+            because the version was pre-claimed before any fan-out."""
+            sup = get_supervisor()
+            failures = 0
+            while True:
+                try:
+                    return run()
+                except ChaosError as error:
+                    failures += 1
+                    if (not sup.enabled or not error.retryable
+                            or failures > sup.config.io_retries):
+                        raise
+                    sup.record_retry("vti.worker")
+                    note_degradation(
+                        "vti.worker_restart", site="vti.worker",
+                        detail=f"{path}: {error.kind}")
+                    run = lambda: compile_one(path)
 
         with _TRACER.span("vti.incremental_many",
                           partitions=len(paths),
@@ -427,17 +458,29 @@ class VtiFlow:
                     for path in paths:
                         # .result() re-raises the earliest failing
                         # path's error in sorted order — the same one
-                        # the serial loop would surface.
-                        outcomes[path] = futures[path].result()
+                        # the serial loop would surface. A dead worker
+                        # is restarted inline by ``collect``.
+                        outcomes[path] = collect(
+                            path, futures[path].result)
             else:
                 queue_depth.set(len(paths))
                 for index, path in enumerate(paths):
-                    outcomes[path] = compile_one(path)
+                    outcomes[path] = collect(
+                        path, lambda p=path: compile_one(p))
                     queue_depth.set(len(paths) - index - 1)
 
             results = []
+            sup = get_supervisor()
+            deadline = (sup.config.vti_partition_deadline
+                        if sup.enabled else None)
             for path in paths:
                 result, host_seconds = outcomes[path]
+                if deadline is not None:
+                    spent = (result.total_seconds
+                             - result.seconds["link"])
+                    if spent > deadline:
+                        raise sup.deadline_hit(
+                            "vti.worker", spent, deadline)
                 wall_histogram.observe(host_seconds)
                 with _TRACER.span("vti.incremental",
                                   partition=path) as child:

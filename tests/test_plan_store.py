@@ -260,3 +260,33 @@ def test_cohort_soc_roundtrips_through_disk(store):
     warm.step(50)
     assert warm.snapshot() == reference
     assert store.stats["hits"] == hits_before + 1
+
+
+# ---------------------------------------------------------------------------
+# concurrent deletion (shared-store eviction races)
+# ---------------------------------------------------------------------------
+
+def test_concurrent_deletion_is_plain_miss_not_rot(tmp_path, monkeypatch):
+    """Another process evicting the entry between our existence check
+    and the read must look like a plain miss — no integrity failure,
+    no exception (ENOENT is not rot)."""
+    disk = PlanDiskStore(tmp_path, limit=4)
+    disk.merge("fp-race", {"settle": "def s(): pass"})
+    disk._path("fp-race").unlink()
+    # Force the exists() probe to say yes so read_text() hits the real
+    # FileNotFoundError path, exactly as a racing evictor produces it.
+    monkeypatch.setattr(Path, "exists", lambda self: True)
+    assert disk.load("fp-race") is None
+    assert disk.stats["integrity_failures"] == 0
+    assert disk.stats["misses"] == 1
+
+
+def test_vti_cache_concurrent_deletion_is_plain_miss(tmp_path,
+                                                     monkeypatch):
+    """Same contract for the VTI CompileCache's disk tier."""
+    from repro.vti.cache import CompileCache
+    cache = CompileCache(root=tmp_path)
+    before = cache.stats.integrity_failures
+    monkeypatch.setattr(Path, "exists", lambda self: True)
+    assert cache._load_disk("0" * 12) is None
+    assert cache.stats.integrity_failures == before

@@ -193,3 +193,143 @@ def test_multi_slr_memory_survives_crash_during_write(tmp_path):
     r = recovered.engine.snapshot()
     assert g.memories["core1.rf"] == r.memories["core1.rf"] == words
     assert g.content_key() == r.content_key()
+
+
+# ---------------------------------------------------------------------------
+# chaos kill points: faults *inside* the durability machinery itself
+# ---------------------------------------------------------------------------
+#
+# The boundary fuzz above kills the process between commands. These
+# tests kill it *inside* SnapshotStore.put and PlanDiskStore.merge —
+# every fault kind the chaos registry documents for those sites — and
+# assert recovery still converges to the golden run bit-for-bit.
+
+from repro.chaos import (  # noqa: E402
+    FaultSchedule,
+    FaultSpec,
+    SuperviseConfig,
+    get_supervisor,
+    install_chaos,
+)
+from repro.config import FaultPlan  # noqa: E402
+from repro.errors import DiskFaultError  # noqa: E402
+from repro.rtl.plan_store import PlanDiskStore  # noqa: E402
+
+
+def _armed(*specs, seed=0):
+    return FaultSchedule(seed=seed, specs=specs).registry()
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("kind", ["torn_write", "bit_rot", "enospc"])
+def test_recovery_survives_faulted_snapshot_put(kind, tmp_path):
+    """Fault SnapshotStore.put during the script's first checkpoint:
+    torn and ENOSPC puts abort the command, bit-rot lands silently —
+    recovery must skip the damaged base and still converge."""
+    compiled = DESIGNS["pipeline"]()
+    script = script_for("pipeline", compiled, SEED)
+    snap_index = next(i for i, s in enumerate(script)
+                      if s[0] == "snapshot")
+
+    fabric, debugger = fresh_session(compiled)
+    enable_crash_safety(debugger, tmp_path)
+    apply_script(fabric, debugger, script, upto=snap_index)
+    registry = _armed(FaultSpec(site="snapstore.put", kind=kind, at=0),
+                      seed=SEED)
+    with install_chaos(registry):
+        if kind == "bit_rot":
+            debugger.snapshot("first")  # lands, silently damaged
+        else:
+            with pytest.raises(DiskFaultError):
+                debugger.snapshot("first")
+    assert registry.faults_fired == 1
+
+    # The process "dies" here. The journal already holds the snapshot
+    # record (write-ahead), so replay re-executes it.
+    _, recovered = fresh_session(compiled)
+    report = recover_session(recovered, tmp_path)
+    if kind != "enospc":
+        # A damaged checkpoint file exists on disk; recovery must have
+        # refused to trust it rather than restoring garbage.
+        assert report.base_index is None or report.skipped_bases >= 1
+
+    gold_fabric, golden = fresh_session(compiled)
+    apply_script(gold_fabric, golden, script, upto=snap_index + 1)
+
+    g = golden.engine.snapshot()
+    r = recovered.engine.snapshot()
+    assert diff_snapshots(g, r) == {}, f"kind={kind}"
+    assert g.content_key() == r.content_key(), f"kind={kind}"
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("kind", ["torn_write", "enospc"])
+def test_plan_store_merge_faults_degrade_not_corrupt(kind, tmp_path):
+    """A faulted merge is a skipped cache write, never a poisoned
+    store: the degradation is recorded, later loads stay coherent, and
+    a clean re-merge repairs the entry."""
+    sup = get_supervisor()
+    sup.reset()
+    store = PlanDiskStore(tmp_path, limit=8)
+    store.merge("fp-keep", {"settle": "def keep(): pass"})
+
+    registry = _armed(FaultSpec(site="planstore.merge", kind=kind,
+                                at=0), seed=SEED)
+    with install_chaos(registry):
+        store.merge("fp-hurt", {"settle": "def hurt(): pass"})
+    assert registry.faults_fired == 1
+    assert any(d.fallback == "cache.write_skipped"
+               for d in sup.degradations)
+
+    # Unrelated entries are untouched; the faulted one is at worst a
+    # miss (torn file or absent file), never a crash or a wrong plan.
+    assert store.load("fp-keep") is not None
+    assert store.load("fp-hurt") is None
+
+    store.merge("fp-hurt", {"settle": "def hurt(): pass"})
+    assert set(store.load("fp-hurt")) == {"settle"}
+
+
+@pytest.mark.fuzz
+def test_lockstep_faulted_run_matches_clean_twin(tmp_path):
+    """Run the full script on two sessions in lockstep — one supervised
+    under recoverable faults, one clean — and compare design state
+    after *every* command, not just at the end. Modeled-time adversity
+    (retries, repairs, hangs) must never leak into design cycles."""
+    compiled = DESIGNS["pipeline"]()
+    script = script_for("pipeline", compiled, SEED)
+
+    clean_fabric, clean = fresh_session(compiled)
+    faulted_fabric, faulted = fresh_session(compiled)
+    enable_crash_safety(faulted, tmp_path)
+    faulted_fabric.enable_fault_injection(FaultPlan(seed=SEED))
+
+    sup = get_supervisor()
+    sup.enable(SuperviseConfig())
+    sup.reset()
+    registry = _armed(
+        FaultSpec(site="journal.sync", kind="torn_write", rate=0.4,
+                  count=4),
+        FaultSpec(site="snapstore.put", kind="torn_write", rate=0.5,
+                  count=2),
+        FaultSpec(site="fabric.pause_write", kind="pause_stuck",
+                  rate=0.5, count=2),
+        FaultSpec(site="transport.batch", kind="device_hang", rate=0.05,
+                  count=2),
+        seed=SEED)
+    try:
+        with install_chaos(registry):
+            for index in range(len(script)):
+                apply_script(clean_fabric, clean, script[index:index + 1])
+                apply_script(faulted_fabric, faulted,
+                             script[index:index + 1])
+                g = clean.engine.snapshot()
+                f = faulted.engine.snapshot()
+                assert g.content_key() == f.content_key(), (
+                    f"diverged after step {index} "
+                    f"({script[index][0]}): {diff_snapshots(g, f)}")
+        assert registry.faults_fired > 0, \
+            "schedule never fired; test is vacuous"
+    finally:
+        sup.disable()
+        sup.reset()

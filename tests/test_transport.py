@@ -121,6 +121,41 @@ class TestFaultPlan:
         waits = [policy.backoff_for(n) for n in range(1, 6)]
         assert waits == [0.01, 0.02, 0.04, 0.05, 0.05]
 
+    def test_zero_jitter_is_bit_identical_to_plain_backoff(self):
+        plain = RetryPolicy(max_attempts=8, backoff_seconds=0.01,
+                            backoff_multiplier=2.0,
+                            max_backoff_seconds=0.05)
+        zeroed = RetryPolicy(max_attempts=8, backoff_seconds=0.01,
+                             backoff_multiplier=2.0,
+                             max_backoff_seconds=0.05,
+                             jitter=0.0, jitter_seed=99)
+        for failure in range(1, 9):
+            assert plain.backoff_for(failure) \
+                == zeroed.backoff_for(failure)
+
+    def test_jitter_is_deterministic_per_seed_and_bounded(self):
+        def waves(seed):
+            policy = RetryPolicy(max_attempts=8, backoff_seconds=0.01,
+                                 backoff_multiplier=2.0,
+                                 max_backoff_seconds=0.05,
+                                 jitter=0.3, jitter_seed=seed)
+            return [policy.backoff_for(n) for n in range(1, 9)]
+
+        assert waves(7) == waves(7)  # replayable
+        assert waves(7) != waves(8)  # but seed-dependent
+        plain = RetryPolicy(max_attempts=8, backoff_seconds=0.01,
+                            backoff_multiplier=2.0,
+                            max_backoff_seconds=0.05)
+        for failure, wait in enumerate(waves(7), start=1):
+            base = plain.backoff_for(failure)
+            assert base * 0.7 <= wait <= min(base * 1.3, 0.05)
+
+    def test_jitter_fraction_is_validated(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
 
 class TestFaultDetectionAndRetry:
     def test_bit_flips_always_detected_never_silent(self, session):
