@@ -18,6 +18,12 @@ the hot paths ever stops being near-free. Enabled-path overhead is
 reported, not gated — turning tracing on buys a flame graph and is
 allowed to cost something.
 
+The flight recorder is *always on* by default, so it gets its own gate
+(:data:`FLIGHT_CEILING`, 5%): the same two hot paths are measured with
+the recorder fully off versus recording (tracer off in both variants),
+and the median paired ratio must stay under the ceiling. This is the
+"crash evidence is free enough to leave on" claim from the design.
+
 A short traced debug session (pause/step/read_state/snapshot/resume)
 is also exported as ``benchmarks/TRACE_session.json`` (Chrome-trace
 format — load at https://ui.perfetto.dev) next to a
@@ -39,6 +45,10 @@ METRICS_JSON = pathlib.Path(__file__).parent / "METRICS_session.json"
 #: CI gate: instrumentation with tracing *disabled* may slow a hot
 #: path by at most this fraction over its uninstrumented body.
 OVERHEAD_CEILING = 0.03
+
+#: CI gate: the always-on flight recorder may slow a hot path by at
+#: most this fraction over the same path with the recorder off.
+FLIGHT_CEILING = 0.05
 
 #: Cycles per Simulator.step call in the hot-loop measurement. This is
 #: batch granularity — the per-call guard amortizes over the kernel
@@ -159,6 +169,34 @@ def test_observability_overhead_and_session_trace():
     transport_enabled_overhead = _median_overhead(
         t_samples[0], t_samples[2])
 
+    # -- flight recorder: always-on (default) vs fully off ------------
+    flight = obs.flight
+    flight.clear()
+
+    def _with_flight_off(fn):
+        def run():
+            flight.enabled = False
+            try:
+                fn()
+            finally:
+                flight.enabled = True
+        return run
+
+    (f_sim_off, f_sim_on), f_sim_samples = _interleaved([
+        _with_flight_off(lambda: sim.step(STEP_BATCH)),
+        lambda: sim.step(STEP_BATCH),
+    ], reps=25)
+    flight_sim_overhead = _median_overhead(
+        f_sim_samples[0], f_sim_samples[1])
+
+    (f_tr_off, f_tr_on), f_tr_samples = _interleaved([
+        _with_flight_off(lambda: transport.run(words)),
+        lambda: transport.run(words),
+    ], reps=40, calls=3)
+    flight_transport_overhead = _median_overhead(
+        f_tr_samples[0], f_tr_samples[1])
+    flight.clear()
+
     # -- a full traced session, exported for the CI artifact ----------
     obs.start_tracing()
     wall_start = time.perf_counter()
@@ -194,6 +232,16 @@ def test_observability_overhead_and_session_trace():
           f"{t_enabled * 1e3:.2f}ms",
           f"{transport_disabled_overhead * 100:+.2f}%",
           f"{transport_enabled_overhead * 100:+.2f}%"]])
+    emit_table(
+        "Always-on flight recorder (recorder off vs recording; "
+        "tracer off in both; median paired ratios)",
+        ["path", "flight off", "flight on", "overhead"],
+        [["sim.step x%d" % STEP_BATCH,
+          f"{f_sim_off * 1e3:.2f}ms", f"{f_sim_on * 1e3:.2f}ms",
+          f"{flight_sim_overhead * 100:+.2f}%"],
+         ["transport batch",
+          f"{f_tr_off * 1e3:.2f}ms", f"{f_tr_on * 1e3:.2f}ms",
+          f"{flight_transport_overhead * 100:+.2f}%"]])
     emit(f"Traced session: {spans} spans, {modeled:.3f}s modeled JTAG "
          f"in {session_wall:.3f}s wall -> {TRACE_JSON.name}")
     assert snap.values, "readback returned no state"
@@ -216,6 +264,14 @@ def test_observability_overhead_and_session_trace():
             "disabled_overhead": transport_disabled_overhead,
             "enabled_overhead": transport_enabled_overhead,
         },
+        "flight": {
+            "sim_off_seconds": f_sim_off,
+            "sim_on_seconds": f_sim_on,
+            "sim_overhead": flight_sim_overhead,
+            "transport_off_seconds": f_tr_off,
+            "transport_on_seconds": f_tr_on,
+            "transport_overhead": flight_transport_overhead,
+        },
         "session": {
             "spans": spans,
             "modeled_seconds": modeled,
@@ -229,3 +285,10 @@ def test_observability_overhead_and_session_trace():
     assert transport_disabled_overhead < OVERHEAD_CEILING, (
         f"disabled tracing costs {transport_disabled_overhead:.1%} on "
         f"the transport batch path (ceiling {OVERHEAD_CEILING:.0%})")
+    assert flight_sim_overhead < FLIGHT_CEILING, (
+        f"always-on flight recorder costs {flight_sim_overhead:.1%} "
+        f"on the fused-sim hot loop (ceiling {FLIGHT_CEILING:.0%})")
+    assert flight_transport_overhead < FLIGHT_CEILING, (
+        f"always-on flight recorder costs "
+        f"{flight_transport_overhead:.1%} on the transport batch path "
+        f"(ceiling {FLIGHT_CEILING:.0%})")

@@ -36,7 +36,9 @@ from fnmatch import fnmatchcase
 from typing import Optional
 
 from ..errors import ChaosError
-from ..obs import get_registry
+from ..obs import get_flight_recorder, get_registry
+
+_FLIGHT = get_flight_recorder()
 
 #: Every fault kind a spec may request, and the sites that honor it.
 #: The table is documentation *and* validation: a spec naming a kind no
@@ -251,6 +253,9 @@ class FaultRegistry:
                 self._m_injected.inc()
                 get_registry().counter(
                     f"chaos.faults_injected.{spec.kind}").inc()
+                # Injections land in the flight recorder's sticky ring
+                # so a post-mortem dump names every fault that fired.
+                _FLIGHT.note("chaos", spec.kind, site=site, visit=visit)
                 return Fault(site=site, kind=spec.kind,
                              seconds=spec.seconds,
                              rng=random.Random(self._rng.randrange(1 << 30)),

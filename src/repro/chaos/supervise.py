@@ -43,10 +43,11 @@ from ..errors import (
     DiskFaultError,
     is_retryable,
 )
-from ..obs import get_logger, get_registry
+from ..obs import get_flight_recorder, get_logger, get_registry
 from .schedule import fault_point
 
 _LOG = get_logger()
+_FLIGHT = get_flight_recorder()
 
 #: Modeled disk timing: a sync costs a fixed seek/flush overhead plus
 #: streaming the payload. The numbers model commodity NVMe the way the
@@ -152,7 +153,11 @@ class CircuitBreaker:
         self.failures = 0
         self.opened_at = 0.0
         self.opens = 0
-        self._m_opens = get_registry().counter("supervise.breaker_opens")
+        registry = get_registry()
+        self._m_opens = registry.counter("supervise.breaker_opens")
+        #: How many breakers are currently OPEN, process-wide (the
+        #: health engine's circuit-breaker-state signal).
+        self._g_open = registry.gauge("supervise.breakers_open")
 
     def allow(self) -> None:
         """Gate one operation; raises :class:`CircuitOpenError` open."""
@@ -166,6 +171,7 @@ class CircuitBreaker:
                     f"seconds of cooldown remain",
                     failures=self.failures,
                     cooldown_seconds=self.cooldown_seconds)
+            self._g_open.dec()
             self.state = self.HALF_OPEN
 
     def record_success(self) -> None:
@@ -179,14 +185,21 @@ class CircuitBreaker:
             if self.state != self.OPEN:
                 self.opens += 1
                 self._m_opens.inc()
+                self._g_open.inc()
                 if _LOG.enabled:
                     _LOG.warn("supervise.breaker_open", name=self.name,
                               failures=self.failures)
+                # An OPEN transition is a flight trigger: the channel
+                # is about to go dark, so capture the lead-up now.
+                _FLIGHT.trigger("breaker.open", breaker=self.name,
+                                failures=self.failures)
             self.state = self.OPEN
             self.opened_at = self.clock()
 
     def reset(self) -> None:
         """Explicit repair acknowledgement (post-recovery)."""
+        if self.state == self.OPEN:
+            self._g_open.dec()
         self.failures = 0
         self.state = self.CLOSED
 
@@ -225,6 +238,7 @@ class Supervisor:
     def record_retry(self, site: str) -> None:
         self._m_retries.inc()
         get_registry().counter(f"supervise.retries.{site}").inc()
+        _FLIGHT.note("supervise", "retry", site=site)
 
     def deadline_hit(self, site: str, spent: float,
                      deadline: float) -> "DebugTimeoutError":
@@ -234,6 +248,8 @@ class Supervisor:
         if _LOG.enabled:
             _LOG.warn("supervise.deadline_hit", site=site,
                       spent=round(spent, 6), deadline=deadline)
+        _FLIGHT.trigger("debug.timeout", site=site,
+                        spent=round(spent, 6), deadline=deadline)
         return DebugTimeoutError(
             f"{site} exceeded its modeled deadline: spent "
             f"{spent:.4f} s of a {deadline:.4f} s budget",
@@ -253,6 +269,8 @@ class Supervisor:
                 Degradation(fallback=fallback, site=site, detail=detail))
         self._m_degradations.inc()
         get_registry().counter(f"supervise.degradations.{fallback}").inc()
+        _FLIGHT.note("supervise", "degradation", fallback=fallback,
+                     site=site)
         if _LOG.enabled:
             _LOG.warn("supervise.degradation", fallback=fallback,
                       site=site, detail=detail)

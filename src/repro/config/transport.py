@@ -41,11 +41,13 @@ from ..errors import (
     SessionCrashedError,
     TransportError,
 )
-from ..obs import get_logger, get_registry, get_tracer
+from ..obs import get_flight_recorder, get_logger, get_registry, \
+    get_tracer
 
 #: Bound at import: the obs singletons are mutated in place, never
 #: replaced, so module-level references stay valid.
 _TRACER = get_tracer()
+_FLIGHT = get_flight_recorder()
 _LOG = get_logger()
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -366,6 +368,11 @@ class VerifiedTransport:
         if result is not None:
             self._batch_seconds.observe(result.seconds)
         retries = int(after["retries"] - before["retries"])
+        if _FLIGHT.enabled:
+            # One small record per batch; part of the always-on <5%
+            # flight-recorder overhead gate.
+            _FLIGHT.note("transport", "batch", retries=retries,
+                         verified=result is not None)
         if retries and _LOG.enabled:
             _LOG.warn("transport.retries", retries=retries,
                       corrupt=int(after["corrupt_detected"]

@@ -73,6 +73,21 @@ Commands:
   trace start|stop|status           control span tracing (off by default)
   trace export FILE                 write Chrome-trace JSON for Perfetto
   trace tree                        recorded spans, indented, both clocks
+  doctor [--json]                   judge this process's metrics against
+                                    the SLO health rules (run
+                                    `python -m repro.obs.doctor` for the
+                                    standalone seeded-workload verdict)
+  profile [--json]                  two-clock cost tables (per command /
+                                    kernel / VTI stage) from recorded
+                                    spans
+  profile flame [wall|modeled]      folded flame-graph stacks (self time
+      [FILE]                        in microseconds of either clock)
+  obs bundle FILE                   write the post-mortem archive (flight
+                                    dump, metrics, health, journal tail)
+  obs export [FILE]                 metrics registry in Prometheus text
+                                    exposition format
+  obs flight [FILE]                 flight-recorder summary (or dump the
+                                    full JSON document to FILE)
   help                              this text
   quit                              leave the repl"""
 
@@ -117,6 +132,9 @@ class ZoomieCli:
             "chaos": self._cmd_chaos,
             "trace": self._cmd_trace,
             "trace-capture": self._cmd_trace_capture,
+            "doctor": self._cmd_doctor,
+            "profile": self._cmd_profile,
+            "obs": self._cmd_obs,
             "help": lambda args: _HELP,
         }
         #: The most recent trace-capture result, kept for inspection.
@@ -458,6 +476,73 @@ class ZoomieCli:
             from ..rtl.detectors import render_timeline
             lines.append(render_timeline(trace, max_samples=48))
         return "\n".join(lines)
+
+    def _cmd_doctor(self, args: list[str]) -> str:
+        if args not in ([], ["--json"]):
+            raise ValueError("usage: doctor [--json]")
+        from ..obs.health import get_health_engine
+        report = get_health_engine().evaluate()
+        if args:
+            return json.dumps(report.as_dict(), indent=1)
+        return report.describe()
+
+    def _cmd_profile(self, args: list[str]) -> str:
+        usage = ("usage: profile [--json] | "
+                 "profile flame [wall|modeled] [FILE]")
+        from ..obs.profile import ProfileReport
+        report = ProfileReport.from_tracer(get_observability().tracer)
+        if not args:
+            return report.describe()
+        if args == ["--json"]:
+            return json.dumps(report.as_dict(), indent=1)
+        if args[0] == "flame":
+            clock, rest = "wall", args[1:]
+            if rest and rest[0] in ("wall", "modeled"):
+                clock, rest = rest[0], rest[1:]
+            text = report.collapsed(clock)
+            if rest:
+                if len(rest) != 1:
+                    raise ValueError(usage)
+                with open(rest[0], "w") as stream:
+                    stream.write(text + "\n")
+                return f"wrote folded stacks ({clock}) to {rest[0]}"
+            return text if text else "(no stacks recorded)"
+        raise ValueError(usage)
+
+    def _cmd_obs(self, args: list[str]) -> str:
+        usage = ("usage: obs bundle FILE | obs export [FILE] | "
+                 "obs flight [FILE]")
+        obs = get_observability()
+        if not args:
+            raise ValueError(usage)
+        verb, rest = args[0], args[1:]
+        if verb == "bundle":
+            if len(rest) != 1:
+                raise ValueError(usage)
+            from ..obs.bundle import BUNDLE_VERSION
+            journal = self.debugger.journal
+            path = obs.write_bundle(
+                rest[0],
+                journal_path=None if journal is None else journal.path)
+            return f"wrote bundle v{BUNDLE_VERSION} to {path}"
+        if verb == "export":
+            if len(rest) > 1:
+                raise ValueError(usage)
+            text = obs.prometheus(path=rest[0] if rest else None)
+            if rest:
+                return f"wrote Prometheus exposition to {rest[0]}"
+            return text if text else "(no metrics recorded)"
+        if verb == "flight":
+            if len(rest) > 1:
+                raise ValueError(usage)
+            if rest:
+                with open(rest[0], "w") as stream:
+                    json.dump(obs.flight_dump(), stream, indent=1,
+                              default=repr)
+                    stream.write("\n")
+                return f"wrote flight dump to {rest[0]}"
+            return obs.flight.describe()
+        raise ValueError(usage)
 
     def _cmd_trace(self, args: list[str]) -> str:
         obs = get_observability()

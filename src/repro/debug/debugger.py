@@ -26,13 +26,16 @@ from ..chaos.supervise import get_supervisor
 from ..config.fabric import FabricDevice
 from ..errors import (
     BreakpointError,
+    CircuitOpenError,
     DebugError,
     DebugTimeoutError,
     NotPausedError,
     TransportError,
 )
 from ..fpga.frames import FRAME_WORDS, FrameAddress
-from ..obs import get_logger, get_registry, get_tracer
+from ..obs import get_flight_recorder, get_logger, get_registry, \
+    get_tracer
+from ..obs.health import get_health_engine
 from .controller import InstrumentedDesign
 from .readback_engine import ReadbackEngine
 from .state import StateSnapshot, validate_label
@@ -40,6 +43,8 @@ from .state import StateSnapshot, validate_label
 #: Bound at import; the singletons are mutated in place, never replaced.
 _TRACER = get_tracer()
 _LOG = get_logger()
+_FLIGHT = get_flight_recorder()
+_HEALTH = get_health_engine()
 
 #: Safety bound multiplier for run-until-pause loops.
 RUN_SLACK = 64
@@ -89,18 +94,39 @@ class ZoomieDebugger:
         transport batch and simulator run inside the command rolls its
         modeled seconds up — so a session trace is a flame graph in
         both time bases. Commands are tallied in the metrics registry
-        unconditionally; spans only when tracing is on.
+        and noted in the flight recorder unconditionally; spans only
+        when tracing is on.
+
+        This is also the unhandled-exception boundary: anything except
+        a typed timeout (dumped at its raise site) or a breaker
+        refusal (dumped at the OPEN transition) escaping a command
+        triggers a flight dump before it propagates.
         """
         self._m_commands.inc()
-        if not _TRACER.enabled:
-            yield None
-            return
-        with _TRACER.span(f"debug.{verb}", **attrs) as span:
-            yield span
-            span.set(cycle=self.cycles(),
-                     session_seconds=round(self.session_seconds, 6))
-            if _LOG.enabled:
-                _LOG.info(f"debug.{verb}", cycle=self.cycles(), **attrs)
+        if _FLIGHT.enabled:
+            _FLIGHT.note("command", verb)
+        try:
+            if not _TRACER.enabled:
+                yield None
+            else:
+                with _TRACER.span(f"debug.{verb}", **attrs) as span:
+                    yield span
+                    span.set(
+                        cycle=self.cycles(),
+                        session_seconds=round(self.session_seconds, 6))
+                    if _LOG.enabled:
+                        _LOG.info(f"debug.{verb}", cycle=self.cycles(),
+                                  **attrs)
+        except (DebugTimeoutError, CircuitOpenError):
+            raise
+        except Exception as error:
+            _FLIGHT.trigger("debug.exception", verb=verb,
+                            error=type(error).__name__,
+                            detail=str(error)[:200])
+            raise
+        # Cadence tick for the health engine, on the session's modeled
+        # clock (one attribute check when no cadence is configured).
+        _HEALTH.maybe_evaluate(self.session_seconds)
 
     # ------------------------------------------------------------------
     # crash safety: write-ahead journaling of mutating commands
@@ -222,6 +248,9 @@ class ZoomieDebugger:
             # the safe-pause write itself must not be deadline-checked.
             transport.end_deadline()
             self._safe_pause()
+            _FLIGHT.trigger("debug.timeout", operation=what,
+                            deadline=deadline,
+                            spent=round(deadline - remaining, 6))
             raise DebugTimeoutError(
                 f"{what} did not complete within its {deadline:.3f} s "
                 f"modeled deadline ({error}); session safe-paused",

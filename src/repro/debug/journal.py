@@ -34,10 +34,11 @@ from typing import Iterable, Optional
 from ..bitstream.crc import crc32_stream
 from ..chaos.supervise import note_degradation, run_io
 from ..errors import DiskFaultError, JournalCorruptError, JournalError
-from ..obs import get_registry, get_tracer
+from ..obs import get_flight_recorder, get_registry, get_tracer
 
 #: Bound at import; the singletons are mutated in place, never replaced.
 _TRACER = get_tracer()
+_FLIGHT = get_flight_recorder()
 
 #: First line of every journal file.
 JOURNAL_MAGIC = "zoomie-journal-v1"
@@ -136,8 +137,20 @@ def read_journal(path) -> tuple[list[JournalRecord], bool]:
     Returns ``(records, torn_tail)`` where ``torn_tail`` reports that a
     final in-flight record was dropped. Interior damage raises
     :class:`JournalCorruptError`; indices must be contiguous from 0 (a
-    gap means a durable record vanished — also corruption).
+    gap means a durable record vanished — also corruption). Corruption
+    is a flight-recorder trigger: by the time anyone reads a damaged
+    journal the session that wrote it is usually gone, so the dump is
+    the only record of what led up to it.
     """
+    try:
+        return _read_journal(path)
+    except JournalCorruptError as error:
+        _FLIGHT.trigger("journal.corrupt", path=str(path),
+                        line=error.line, detail=str(error)[:200])
+        raise
+
+
+def _read_journal(path) -> tuple[list[JournalRecord], bool]:
     path = Path(path)
     if not path.exists():
         raise JournalError(f"no journal at {path}")
@@ -188,6 +201,7 @@ class CommandJournal:
         self._m_appends = registry.counter("journal.appends")
         self._m_syncs = registry.counter("journal.syncs")
         self._m_synced = registry.counter("journal.synced_records")
+        self._m_sync_seconds = registry.histogram("journal.sync_seconds")
         if self.path.exists():
             existing, torn = read_journal(self.path)
             if torn:
@@ -260,12 +274,16 @@ class CommandJournal:
         flushed = len(self._pending)
         payload = "".join(self._pending)
         with _TRACER.span("journal.sync", records=flushed):
-            run_io("journal.sync", len(payload.encode("utf-8")),
-                   self._sync_attempt, repair=self._repair_tail)
+            _, spent = run_io("journal.sync",
+                              len(payload.encode("utf-8")),
+                              self._sync_attempt,
+                              repair=self._repair_tail)
             self._durable = self._count
             self._pending.clear()
         self._m_syncs.inc()
         self._m_synced.inc(flushed)
+        # Modeled sync latency feeds the health engine's p99 rule.
+        self._m_sync_seconds.observe(spent)
 
     def _sync_attempt(self, fault) -> None:
         """One append attempt, applying an injected fault's effect."""

@@ -1,0 +1,149 @@
+"""Post-mortem bundles: one archive with everything a debugger needs.
+
+``zoomie obs bundle FILE`` (and :func:`write_bundle`) packs the
+current observability state into a single zip with a **versioned
+manifest** — the FPGA equivalent of a core dump plus `sosreport`:
+
+- ``manifest.json`` — format name, :data:`BUNDLE_VERSION`, section
+  list, and the triggering flight event (if any), so tooling can
+  reject bundles it does not understand before reading anything else;
+- ``flight.json`` — the latest flight-recorder dump (or a live
+  snapshot when nothing has triggered);
+- ``metrics.json`` / ``prometheus.txt`` — the registry snapshot in
+  both machine shapes;
+- ``health.json`` — a :class:`~repro.obs.health.HealthReport`;
+- ``trace.json`` — Chrome-trace events for whatever spans the ring
+  still holds;
+- ``journal_tail.txt`` — the last lines of the write-ahead command
+  journal (optional);
+- ``config.json`` — caller-supplied session/config context (optional);
+- ``bench/BENCH_*.json`` — the benchmark trajectory (optional), so a
+  perf regression report travels with the crash it accompanied.
+
+:func:`load_bundle` reverses the packing for tests and tooling; the
+round-trip (write, load, find the triggering event / health report /
+metrics snapshot) is part of the acceptance gate for this layer.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from .export import prometheus_text
+from .flight import FlightRecorder, get_flight_recorder
+from .health import HealthEngine, HealthReport
+from .metrics import MetricsRegistry, get_registry
+from .trace import get_tracer
+
+__all__ = ["BUNDLE_FORMAT", "BUNDLE_VERSION", "Bundle", "load_bundle",
+           "write_bundle"]
+
+BUNDLE_FORMAT = "zoomie-obs-bundle"
+#: Bump on any manifest/section shape change.
+BUNDLE_VERSION = 1
+
+#: How many journal lines ride along in the bundle tail.
+JOURNAL_TAIL_LINES = 64
+
+
+@dataclass
+class Bundle:
+    """A loaded bundle: the manifest plus parsed sections."""
+
+    path: Path
+    manifest: dict
+    sections: dict[str, object]
+
+    def section(self, name: str):
+        return self.sections.get(name)
+
+
+def write_bundle(path, registry: Optional[MetricsRegistry] = None,
+                 flight: Optional[FlightRecorder] = None,
+                 health: Optional[HealthReport] = None,
+                 journal_path=None, config: Optional[dict] = None,
+                 bench_dir=None) -> Path:
+    """Write the post-mortem archive; returns its path.
+
+    ``health`` defaults to a fresh full-history evaluation over
+    ``registry``; pass a report to preserve the windowed evaluation a
+    caller already ran. ``bench_dir`` is scanned for ``BENCH_*.json``
+    trajectory files.
+    """
+    registry = registry if registry is not None else get_registry()
+    flight = flight if flight is not None else get_flight_recorder()
+    if health is None:
+        health = HealthEngine(registry).evaluate()
+    dump = flight.last_dump if flight.last_dump is not None \
+        else flight.snapshot(registry=registry)
+    sections: dict[str, object] = {
+        "flight.json": dump,
+        "metrics.json": registry.as_dict(),
+        "health.json": health.as_dict(),
+        "trace.json": get_tracer().export_chrome(),
+    }
+    text_sections: dict[str, str] = {
+        "prometheus.txt": prometheus_text(registry),
+    }
+    if config is not None:
+        sections["config.json"] = config
+    if journal_path is not None and Path(journal_path).exists():
+        lines = Path(journal_path).read_text().splitlines()
+        text_sections["journal_tail.txt"] = \
+            "\n".join(lines[-JOURNAL_TAIL_LINES:]) + "\n"
+    if bench_dir is not None:
+        for bench in sorted(Path(bench_dir).glob("BENCH_*.json")):
+            try:
+                sections[f"bench/{bench.name}"] = \
+                    json.loads(bench.read_text())
+            except (OSError, ValueError):
+                continue  # a torn BENCH file must not block a dump
+    manifest = {
+        "format": BUNDLE_FORMAT,
+        "version": BUNDLE_VERSION,
+        "created_unix": time.time(),
+        "trigger": dump.get("trigger"),
+        "sections": sorted(list(sections) + list(text_sections)),
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with zipfile.ZipFile(path, "w",
+                         compression=zipfile.ZIP_DEFLATED) as archive:
+        archive.writestr("manifest.json",
+                         json.dumps(manifest, indent=1, default=repr))
+        for name, payload in sections.items():
+            archive.writestr(
+                name, json.dumps(payload, indent=1, default=repr))
+        for name, text in text_sections.items():
+            archive.writestr(name, text)
+    return path
+
+
+def load_bundle(path) -> Bundle:
+    """Re-open a bundle; ``.json`` sections come back parsed."""
+    path = Path(path)
+    with zipfile.ZipFile(path) as archive:
+        manifest = json.loads(archive.read("manifest.json"))
+        if manifest.get("format") != BUNDLE_FORMAT:
+            raise ValueError(
+                f"{path} is not a {BUNDLE_FORMAT} archive "
+                f"(format={manifest.get('format')!r})")
+        if manifest.get("version", 0) > BUNDLE_VERSION:
+            raise ValueError(
+                f"{path} is bundle version {manifest.get('version')}, "
+                f"newer than this reader ({BUNDLE_VERSION})")
+        sections: dict[str, object] = {}
+        for name in archive.namelist():
+            if name == "manifest.json":
+                continue
+            raw = archive.read(name)
+            if name.endswith(".json"):
+                sections[name] = json.loads(raw)
+            else:
+                sections[name] = raw.decode()
+    return Bundle(path=path, manifest=manifest, sections=sections)

@@ -1,0 +1,78 @@
+"""Prometheus text-exposition export of a metrics registry.
+
+The registry's dotted names map onto the Prometheus data model the
+standard way: ``transport.batch_seconds`` becomes
+``zoomie_transport_batch_seconds``; counters get the ``_total``
+suffix; log-bucket histograms export cumulative ``_bucket{le=...}``
+series plus ``_sum``/``_count``, exactly the shape ``histogram_quantile``
+expects on the scrape side. No client library, no HTTP server — the
+output is the plain text-exposition format (version 0.0.4), which the
+future multi-tenant session server can serve per tenant registry and
+which tests can assert on as a string.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, \
+    get_registry
+
+__all__ = ["prometheus_text"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize(name: str) -> str:
+    return _NAME_RE.sub("_", name)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def prometheus_text(registry: Optional[MetricsRegistry] = None,
+                    namespace: str = "zoomie", path=None) -> str:
+    """The registry in Prometheus text-exposition format.
+
+    Also written to ``path`` when given. Unknown instrument types are
+    skipped rather than crashing the scrape.
+    """
+    registry = registry if registry is not None else get_registry()
+    lines: list[str] = []
+    for name in registry.names():
+        instrument = registry.get(name)
+        metric = f"{namespace}_{_sanitize(name)}"
+        if isinstance(instrument, Counter):
+            lines.append(f"# HELP {metric}_total Zoomie counter "
+                         f"{name}")
+            lines.append(f"# TYPE {metric}_total counter")
+            lines.append(f"{metric}_total {_fmt(instrument.value)}")
+        elif isinstance(instrument, Gauge):
+            lines.append(f"# HELP {metric} Zoomie gauge {name}")
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_fmt(instrument.value)}")
+        elif isinstance(instrument, Histogram):
+            lines.append(f"# HELP {metric} Zoomie histogram {name}")
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for bound, count in zip(instrument.bounds,
+                                    instrument.counts):
+                cumulative += count
+                lines.append(
+                    f'{metric}_bucket{{le="{_fmt(bound)}"}} '
+                    f'{cumulative}')
+            cumulative += instrument.counts[-1]
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{metric}_sum {_fmt(instrument.total)}")
+            lines.append(f"{metric}_count {instrument.count}")
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if path is not None:
+        with open(path, "w") as stream:
+            stream.write(text)
+    return text

@@ -28,7 +28,43 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_registry",
+    "quantile_from_buckets",
 ]
+
+
+def quantile_from_buckets(bounds, counts, count, low_clamp, high_clamp,
+                          p: float) -> Optional[float]:
+    """Shared bucket-quantile math (histograms *and* windowed deltas).
+
+    Linear interpolation inside the covering bucket, clamped to the
+    observed ``[low_clamp, high_clamp]``; the overflow bucket (one past
+    ``bounds``) interpolates up to ``high_clamp``. Returns None when
+    ``count`` is zero.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"quantile wants p in [0, 1], got {p}")
+    if not count:
+        return None
+    target = p * count
+    cumulative = 0
+    for index, bucket_count in enumerate(counts):
+        if not bucket_count:
+            continue
+        if cumulative + bucket_count >= target:
+            low = bounds[index - 1] if index else 0.0
+            if index < len(bounds):
+                high = bounds[index]
+            else:
+                high = high_clamp if high_clamp is not None else bounds[-1]
+            fraction = (target - cumulative) / bucket_count
+            value = low + fraction * (high - low)
+            if low_clamp is not None:
+                value = max(value, low_clamp)
+            if high_clamp is not None:
+                value = min(value, high_clamp)
+            return value
+        cumulative += bucket_count
+    return high_clamp
 
 
 class Counter:
@@ -118,6 +154,18 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, p: float) -> Optional[float]:
+        """Estimate the ``p``-quantile (``0 <= p <= 1``) from buckets.
+
+        Linear interpolation inside the covering log bucket, clamped to
+        the observed ``[min, max]`` so estimates never stray outside the
+        data. The overflow bucket interpolates up to ``max``. Returns
+        None on an empty histogram — callers (the health engine) treat
+        that as "not enough samples", not as zero latency.
+        """
+        return quantile_from_buckets(
+            self.bounds, self.counts, self.count, self.min, self.max, p)
+
     def as_dict(self) -> dict:
         return {
             "type": "histogram",
@@ -126,6 +174,8 @@ class Histogram:
             "mean": self.mean,
             "min": self.min,
             "max": self.max,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
             "bounds": self.bounds,
             "counts": list(self.counts),
         }

@@ -1,0 +1,213 @@
+"""Two-clock attribution profiler over recorded spans.
+
+The tracer answers "what happened, in order"; this module answers
+"where did the time go" — in *both* clocks. Every Zoomie span carries
+host wall seconds (what the Python process spent) and modeled hardware
+seconds (what the emulated JTAG channel, simulated design, and compile
+model charged). The profiler rolls the retained span ring into cost
+tables:
+
+- **commands** — ``debug.*`` verbs, the user-facing unit of work;
+- **kernels** — ``sim.*`` / ``jtag.*`` / ``transport.*``, where the
+  modeled hardware seconds are actually generated;
+- **vti** — per-stage compile costs from the VTI flow;
+- **other** — everything else.
+
+Each row reports inclusive and *self* time per clock. Modeled seconds
+are recorded inclusively (children roll into parents at finish), so
+self time is inclusive minus the sum of direct children — the number
+that answers "where did the modeled JTAG seconds go" without double
+counting. Inclusive totals only sum *top-level occurrences* of a name
+(spans with no same-named ancestor), so a recursive verb is not
+counted twice.
+
+:meth:`ProfileReport.collapsed` exports folded stacks in the
+``a;b;c <value>`` format consumed by flame-graph tooling
+(https://github.com/brendangregg/FlameGraph, speedscope, etc.), with
+the value in integer microseconds of either clock's self time. Spans
+whose parents were evicted from the ring fold under ``<evicted>``,
+matching the tree exporter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from .trace import Span, Tracer, get_tracer
+
+__all__ = ["ProfileReport", "ProfileRow", "profile_spans"]
+
+#: Category → span-name prefixes, first match wins.
+CATEGORIES: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("commands", ("debug.",)),
+    ("kernels", ("sim.", "jtag.", "transport.")),
+    ("vti", ("vti.",)),
+)
+
+
+def _category(name: str) -> str:
+    for category, prefixes in CATEGORIES:
+        if name.startswith(prefixes):
+            return category
+    return "other"
+
+
+@dataclass
+class ProfileRow:
+    """Aggregated cost of one span name, both clocks."""
+
+    name: str
+    count: int = 0
+    #: Inclusive totals over top-level occurrences only.
+    wall_seconds: float = 0.0
+    modeled_seconds: float = 0.0
+    #: Self time (inclusive minus direct children) over every span.
+    wall_self_seconds: float = 0.0
+    modeled_self_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "wall_seconds": round(self.wall_seconds, 9),
+            "wall_self_seconds": round(self.wall_self_seconds, 9),
+            "modeled_seconds": round(self.modeled_seconds, 9),
+            "modeled_self_seconds": round(self.modeled_self_seconds, 9),
+        }
+
+
+class ProfileReport:
+    """Cost tables + folded stacks computed from one span set."""
+
+    def __init__(self, tables: dict[str, list[ProfileRow]],
+                 stacks_wall: dict[str, float],
+                 stacks_modeled: dict[str, float],
+                 span_count: int, dropped: int):
+        self.tables = tables
+        self._stacks = {"wall": stacks_wall, "modeled": stacks_modeled}
+        self.span_count = span_count
+        self.dropped = dropped
+
+    @classmethod
+    def from_tracer(cls, tracer: Optional[Tracer] = None
+                    ) -> "ProfileReport":
+        tracer = tracer if tracer is not None else get_tracer()
+        report = profile_spans(tracer.spans)
+        report.dropped = tracer.dropped
+        return report
+
+    # ------------------------------------------------------------------
+
+    def rows(self, category: str) -> list[ProfileRow]:
+        return self.tables.get(category, [])
+
+    def collapsed(self, clock: str = "wall") -> str:
+        """Folded flame-graph stacks; ``clock`` is wall or modeled.
+
+        Values are integer microseconds of self time, aggregated over
+        identical stacks; zero-valued stacks are kept (count 0 lines
+        are legal and preserve shape for diffs).
+        """
+        if clock not in self._stacks:
+            raise ValueError(
+                f"unknown clock {clock!r}; want one of "
+                f"{sorted(self._stacks)}")
+        return "\n".join(
+            f"{stack} {int(round(seconds * 1e6))}"
+            for stack, seconds in sorted(self._stacks[clock].items()))
+
+    def as_dict(self) -> dict:
+        return {
+            "span_count": self.span_count,
+            "dropped": self.dropped,
+            "tables": {category: [row.as_dict() for row in rows]
+                       for category, rows in self.tables.items()},
+        }
+
+    def describe(self) -> str:
+        """Human cost tables, hottest modeled-self first."""
+        if not self.span_count:
+            return ("(no spans recorded — `trace start` before the "
+                    "workload to profile it)")
+        lines = [f"profile over {self.span_count} span(s)"
+                 + (f" ({self.dropped} eviction(s) — oldest spans "
+                    f"missing)" if self.dropped else "")]
+        header = (f"  {'name':<32} {'calls':>6} {'wall':>10} "
+                  f"{'wall-self':>10} {'modeled':>11} {'mod-self':>11}")
+        for category in ("commands", "kernels", "vti", "other"):
+            rows = self.tables.get(category)
+            if not rows:
+                continue
+            lines.append(f"{category}:")
+            lines.append(header)
+            for row in rows:
+                lines.append(
+                    f"  {row.name:<32} {row.count:>6} "
+                    f"{row.wall_seconds * 1e3:>8.2f}ms "
+                    f"{row.wall_self_seconds * 1e3:>8.2f}ms "
+                    f"{row.modeled_seconds:>10.6f}s "
+                    f"{row.modeled_self_seconds:>10.6f}s")
+        return "\n".join(lines)
+
+
+def profile_spans(spans: Iterable[Span]) -> ProfileReport:
+    """Build a :class:`ProfileReport` from finished spans."""
+    finished = [span for span in spans if span.finished]
+    by_id = {span.span_id: span for span in finished}
+    child_wall: dict[int, float] = {}
+    child_modeled: dict[int, float] = {}
+    for span in finished:
+        if span.parent_id in by_id:
+            child_wall[span.parent_id] = \
+                child_wall.get(span.parent_id, 0.0) + span.wall_seconds
+            child_modeled[span.parent_id] = \
+                child_modeled.get(span.parent_id, 0.0) + \
+                span.modeled_seconds
+
+    paths: dict[int, tuple[str, ...]] = {}
+
+    def path(span: Span) -> tuple[str, ...]:
+        cached = paths.get(span.span_id)
+        if cached is not None:
+            return cached
+        if span.parent_id is None:
+            prefix: tuple[str, ...] = ()
+        else:
+            parent = by_id.get(span.parent_id)
+            prefix = ("<evicted>",) if parent is None else path(parent)
+        result = prefix + (span.name,)
+        paths[span.span_id] = result
+        return result
+
+    rows: dict[str, ProfileRow] = {}
+    stacks_wall: dict[str, float] = {}
+    stacks_modeled: dict[str, float] = {}
+    for span in finished:
+        stack = path(span)
+        wall_self = max(
+            0.0, span.wall_seconds - child_wall.get(span.span_id, 0.0))
+        modeled_self = max(
+            0.0,
+            span.modeled_seconds - child_modeled.get(span.span_id, 0.0))
+        row = rows.setdefault(span.name, ProfileRow(name=span.name))
+        row.count += 1
+        row.wall_self_seconds += wall_self
+        row.modeled_self_seconds += modeled_self
+        if span.name not in stack[:-1]:  # top-level occurrence
+            row.wall_seconds += span.wall_seconds
+            row.modeled_seconds += span.modeled_seconds
+        key = ";".join(stack)
+        stacks_wall[key] = stacks_wall.get(key, 0.0) + wall_self
+        stacks_modeled[key] = \
+            stacks_modeled.get(key, 0.0) + modeled_self
+
+    tables: dict[str, list[ProfileRow]] = {}
+    for row in rows.values():
+        tables.setdefault(_category(row.name), []).append(row)
+    for category_rows in tables.values():
+        category_rows.sort(
+            key=lambda r: (r.modeled_self_seconds, r.wall_self_seconds),
+            reverse=True)
+    return ProfileReport(tables, stacks_wall, stacks_modeled,
+                         span_count=len(finished), dropped=0)

@@ -276,21 +276,50 @@ class Tracer:
         return text
 
     def tree(self) -> str:
-        """Human dump: one indented line per span, both clocks."""
+        """Human dump: one indented line per span, both clocks.
+
+        The tree is rebuilt from parent links over the *retained* spans
+        rather than trusting each span's recorded depth: after ring
+        eviction a span's parent may be gone, and indenting such an
+        orphan at its original depth silently glues it under whatever
+        line happens to precede it. Orphans render under a synthetic
+        ``<evicted>`` root instead, so long sessions with small rings
+        keep every retained subtree visible and honestly labeled.
+        """
         if not self.spans:
             return "(no spans recorded)"
-        lines = []
+        retained = {span.span_id for span in self.spans}
+        children: dict[Optional[int], list[Span]] = {}
+        orphans: list[Span] = []
         # Finish order puts children before parents; start order is the
         # pre-order walk a tree dump wants.
         for span in sorted(self.spans,
                            key=lambda s: (s.start_wall, s.span_id)):
+            if span.parent_id is not None \
+                    and span.parent_id not in retained:
+                orphans.append(span)
+            else:
+                children.setdefault(span.parent_id, []).append(span)
+        lines = []
+
+        def render(span: Span, depth: int) -> None:
             attrs = " ".join(
                 f"{key}={value!r}" for key, value in span.attrs.items())
             lines.append(
-                f"{'  ' * span.depth}{span.name}  "
+                f"{'  ' * depth}{span.name}  "
                 f"wall={span.wall_seconds * 1e3:.3f}ms  "
                 f"modeled={span.modeled_seconds:.6f}s"
                 + (f"  [{attrs}]" if attrs else ""))
+            for child in children.get(span.span_id, ()):
+                render(child, depth + 1)
+
+        for root in children.get(None, ()):
+            render(root, 0)
+        if orphans:
+            lines.append(f"<evicted>  ({len(orphans)} orphaned span(s) "
+                         f"whose parents left the ring buffer)")
+            for orphan in orphans:
+                render(orphan, 1)
         if self._dropped:
             lines.append(f"... ({self._dropped} eviction(s) — older "
                          f"spans dropped by the ring buffer)")

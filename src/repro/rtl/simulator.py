@@ -43,12 +43,13 @@ from .._bits import truncate
 from ..chaos.schedule import fault_point
 from ..chaos.supervise import note_degradation
 from ..errors import SimulationError, UnknownSignalError
-from ..obs import get_registry, get_tracer
+from ..obs import get_flight_recorder, get_registry, get_tracer
 from ._codegen import compiled_plan_for
 from .netlist import Netlist
 
 #: Bound at import; the singletons are mutated in place, never replaced.
 _TRACER = get_tracer()
+_FLIGHT = get_flight_recorder()
 
 #: Default clock period used when none is specified (1 ns = 1 GHz).
 DEFAULT_PERIOD_PS = 1000
@@ -365,6 +366,8 @@ class Simulator:
             raise SimulationError("cannot step a negative number of cycles")
         self._m_runs.inc()
         self._m_ticks.inc(cycles)
+        if _FLIGHT.enabled:
+            _FLIGHT.note("sim", "run", cycles=cycles)
         if not _TRACER.enabled:
             return self._step_impl(cycles, domain)
         with _TRACER.span("sim.run", cycles=cycles, engine=self.engine,

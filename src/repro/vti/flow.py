@@ -30,10 +30,11 @@ from ..config.logic_loc import LogicLocationFile
 from ..config.program import build_partial_bitstream
 from ..errors import ChaosError, PartitionError
 from ..fpga.device import Device
-from ..obs import get_registry, get_tracer
+from ..obs import get_flight_recorder, get_registry, get_tracer
 
 #: Bound at import; the singletons are mutated in place, never replaced.
 _TRACER = get_tracer()
+_FLIGHT = get_flight_recorder()
 from ..fpga.frames import BLOCK_MAIN, FrameAddress
 from ..rtl.module import Module
 from ..vendor import cost
@@ -144,6 +145,10 @@ class VtiFlow:
                 scale=1.0, base=4.0, buckets=12).observe(
                     result.total_seconds)
             get_registry().counter("vti.initial_runs").inc()
+            if _FLIGHT.enabled:
+                _FLIGHT.note("vti", "initial",
+                             partitions=len(partitions),
+                             seconds=round(result.total_seconds, 3))
         return result
 
     def _publish_stages(self, what: str, seconds: dict[str, float],
@@ -241,6 +246,10 @@ class VtiFlow:
             scale=1.0, base=4.0, buckets=12).observe(
                 result.total_seconds)
         registry.counter("vti.incremental_runs").inc()
+        if _FLIGHT.enabled:
+            _FLIGHT.note("vti", "incremental", version=result.version,
+                         cache_hit=result.cache_hit,
+                         seconds=round(result.total_seconds, 3))
 
     def _compile_incremental(self, initial: VtiCompileResult,
                              partition_path: str,

@@ -1,5 +1,7 @@
 """Tests for the gdb-like command interpreter."""
 
+import json
+
 import pytest
 
 from repro import Zoomie, ZoomieProject
@@ -328,3 +330,52 @@ class TestTraceCapture:
         out = cli.execute("trace-capture 500 issued")
         assert "paused" in out
         assert len(cli.last_trace) < 501
+
+
+class TestObservabilityVerbs:
+    def test_doctor_renders_and_serializes(self, cli):
+        out = cli.execute("doctor")
+        assert out.startswith("health:")
+        assert "transport.retry_rate" in out
+        report = json.loads(cli.execute("doctor --json"))
+        assert report["status"] in ("healthy", "warn", "degraded")
+        assert any(rule["name"] == "supervise.breaker_opens"
+                   for rule in report["rules"])
+        assert cli.execute("doctor --wat").startswith("error: usage")
+
+    def test_profile_tables_and_flame_export(self, cli, tmp_path):
+        assert "no spans" in cli.execute("profile")
+        cli.execute("trace start")
+        cli.execute("run 10")
+        cli.execute("pause")
+        cli.execute("trace stop")
+        out = cli.execute("profile")
+        assert "debug.run" in out and "commands:" in out
+        folded = tmp_path / "stacks.folded"
+        out = cli.execute(f"profile flame modeled {folded}")
+        assert f"wrote folded stacks (modeled) to {folded}" in out
+        lines = folded.read_text().strip().split("\n")
+        assert all(line.rsplit(" ", 1)[1].isdigit() for line in lines)
+        assert cli.execute("profile wat").startswith("error: usage")
+
+    def test_obs_export_and_flight(self, cli, tmp_path):
+        cli.execute("run 5")
+        text = cli.execute("obs export")
+        assert "zoomie_debug_commands_total" in text
+        prom = tmp_path / "m.prom"
+        assert "wrote Prometheus" in cli.execute(f"obs export {prom}")
+        assert "zoomie_" in prom.read_text()
+        assert cli.execute("obs flight").startswith("flight recorder:")
+        assert cli.execute("obs").startswith("error: usage")
+
+    def test_obs_bundle_round_trips(self, cli, tmp_path):
+        from repro.obs.bundle import load_bundle
+        cli.execute("run 5")
+        cli.execute("pause")
+        path = tmp_path / "post.zip"
+        out = cli.execute(f"obs bundle {path}")
+        assert "wrote bundle v1" in out
+        bundle = load_bundle(path)
+        assert "flight.json" in bundle.sections
+        assert "health.json" in bundle.sections
+        assert "metrics.json" in bundle.sections

@@ -135,6 +135,26 @@ class TestSpans:
         assert lines[0].startswith("parent")
         assert lines[1].startswith("  child")
 
+    def test_orphaned_spans_render_under_evicted_root(self):
+        # Mid-session dump: the enclosing span is still open (so not
+        # retained) while its finished children are — they must render
+        # under a synthetic <evicted> root, not glue themselves to
+        # whatever line precedes them at their recorded depth.
+        tracer = Tracer(capacity=3, enabled=True)
+        with tracer.span("session"):
+            for index in range(5):
+                with tracer.span(f"cmd{index}"):
+                    pass
+            text = tracer.tree()
+        lines = text.split("\n")
+        assert lines[0].startswith("<evicted>")
+        assert "3 orphaned span(s)" in lines[0]
+        assert [l.strip().split()[0] for l in lines[1:4]] \
+            == ["cmd2", "cmd3", "cmd4"]
+        # Once the session span closes, the retained subtree is whole
+        # again and the synthetic root disappears.
+        assert "<evicted>" not in tracer.tree()
+
 
 class TestMetrics:
     def test_counter_monotonic(self):
