@@ -1,0 +1,90 @@
+"""Debug-campaign benchmark and the localization-quality CI gate.
+
+A seeded mutation campaign (``ZOOMIE_CAMPAIGN_MUTANTS`` mutants per
+design, default 5, over the counter and the Cohort SoC) runs the full
+detect → localize → score pipeline and pins the tool-quality promises:
+
+- **Detection**: at least :data:`DETECTION_FLOOR` (90%) of
+  non-equivalent mutants must diverge under the seeded batched probe.
+- **Localization**: at least :data:`ACCURACY_FLOOR` (80%) of detected
+  mutants must localize within 2 dataflow signals / 16 cycles of the
+  injected site.
+- **No silent no-ops**: every ``equivalent`` verdict must survive a
+  4x-longer differently-seeded probe (zero misclassifications).
+
+Throughput (mutants per minute) and the median modeled debug time per
+localization land in ``BENCH_campaign.json`` (``record_bench`` schema);
+the full report is written to ``REPORT_campaign.json``, and CI uploads
+both as artifacts on every push.
+
+No ``benchmark`` fixture on purpose: this file must run under plain
+pytest (the CI job installs no plugins for it).
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from conftest import emit, record_bench
+
+#: CI gate: detected fraction of non-equivalent mutants.
+DETECTION_FLOOR = 0.90
+
+#: CI gate: within-tolerance fraction of detected mutants.
+ACCURACY_FLOOR = 0.80
+
+MUTANTS = int(os.environ.get("ZOOMIE_CAMPAIGN_MUTANTS", "5"))
+SEED = int(os.environ.get("ZOOMIE_CAMPAIGN_SEED", "7"))
+
+REPORT_PATH = pathlib.Path(__file__).parent / "REPORT_campaign.json"
+
+
+def test_campaign_quality_and_throughput(tmp_path):
+    from repro.campaign import (
+        CampaignConfig,
+        run_debug_campaign,
+        verify_equivalents,
+    )
+
+    config = CampaignConfig(designs=("counters", "cohort"),
+                            mutants=MUTANTS, seed=SEED)
+    started = time.perf_counter()
+    report = run_debug_campaign(config, tmp_path)
+    wall = time.perf_counter() - started
+
+    misclassified = verify_equivalents(config, report)
+    summary = report.as_dict()["summary"]
+    mutants_per_minute = summary["total"] / wall * 60.0
+
+    emit("")
+    emit(report.describe())
+    emit(f"  throughput: {summary['total']} mutants in {wall:.2f} s "
+         f"wall = {mutants_per_minute:.0f} mutants/min")
+    if misclassified:
+        emit(f"  MISCLASSIFIED equivalents: {', '.join(misclassified)}")
+
+    REPORT_PATH.write_text(report.to_json())
+    record_bench("campaign", {
+        "designs": list(config.designs),
+        "mutants_per_design": MUTANTS,
+        "seed": SEED,
+        "total_mutants": summary["total"],
+        "detection_rate": summary["detection_rate"],
+        "localization_accuracy": summary["localization_accuracy"],
+        "median_modeled_debug_seconds":
+            summary["median_modeled_debug_seconds"],
+        "mutants_per_minute": round(mutants_per_minute, 1),
+        "wall_seconds": round(wall, 3),
+    }, key="seed")
+
+    assert report.detection_rate >= DETECTION_FLOOR, (
+        f"detection rate {report.detection_rate:.0%} below "
+        f"{DETECTION_FLOOR:.0%}")
+    assert report.localization_accuracy >= ACCURACY_FLOOR, (
+        f"localization accuracy {report.localization_accuracy:.0%} "
+        f"below {ACCURACY_FLOOR:.0%}")
+    assert misclassified == [], (
+        f"equivalence misclassified: {misclassified}")
+    # The artifact must parse and agree with the in-memory report.
+    assert json.loads(REPORT_PATH.read_text())["summary"] == summary

@@ -1,0 +1,54 @@
+"""``python -m repro.campaign`` — run a debug campaign from the shell.
+
+Mirrors the ``zoomie campaign run`` CLI verb for scripted use (CI, the
+benchmark harness) where the JSON report is the product.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .designs import DESIGN_NAMES
+from .harness import CampaignConfig, run_debug_campaign
+
+
+def _parse_designs(value: str) -> tuple:
+    if value == "all":
+        return DESIGN_NAMES
+    return tuple(part.strip() for part in value.split(",") if part.strip())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Run a seeded mutation debug campaign.")
+    sub = parser.add_subparsers(dest="verb", required=True)
+    run = sub.add_parser("run", help="run a campaign")
+    run.add_argument("--design", default="cohort",
+                     help="design name, comma list, or 'all' "
+                          f"({', '.join(DESIGN_NAMES)})")
+    run.add_argument("--mutants", type=int, default=25,
+                     help="mutants per design")
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--json", action="store_true",
+                     help="print the full JSON report instead of a summary")
+    run.add_argument("--out", default=None,
+                     help="also write the JSON report to this file")
+    args = parser.parse_args(argv)
+
+    config = CampaignConfig(designs=_parse_designs(args.design),
+                            mutants=args.mutants, seed=args.seed)
+    report = run_debug_campaign(config)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+    if args.json:
+        sys.stdout.write(report.to_json())
+    else:
+        print(report.describe())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,107 @@
+"""Design registry for debug campaigns.
+
+Each entry names a stock design, how to build it, which signals get
+value-breakpoint watch slots when the mutant is instrumented, and any
+placement constraints (the manycore entry pins ``core1`` to SLR 1 so
+campaigns exercise cross-SLR readback paths too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..errors import CampaignError
+
+#: Campaign designs, in the order ``--design all`` runs them.
+DESIGN_NAMES = ("counters", "cohort", "serv", "beehive", "manycore")
+
+
+@dataclass(frozen=True)
+class CampaignDesign:
+    """One mutable-under-test design."""
+
+    name: str
+    build: Callable  # () -> Module
+    watch: tuple
+    #: device -> {instance: PBlock} placement constraints, or None.
+    constraints: Optional[Callable] = None
+    #: 1-bit input bias for seeded stimulus (progress vs. idle mix).
+    bias: float = 0.75
+
+
+def _registry() -> dict[str, CampaignDesign]:
+    from ..designs import (
+        make_beehive_stack,
+        make_cluster,
+        make_cohort_soc,
+        make_counter,
+        make_serv_core,
+    )
+    from ..vendor.place import whole_slr
+
+    return {
+        "counters": CampaignDesign(
+            "counters", lambda: make_counter(width=8), ("out",)),
+        "cohort": CampaignDesign(
+            "cohort", lambda: make_cohort_soc(with_bug=False), ("issued",)),
+        "serv": CampaignDesign("serv", make_serv_core, ("busy",)),
+        "beehive": CampaignDesign(
+            "beehive", make_beehive_stack, ("frames",)),
+        "manycore": CampaignDesign(
+            "manycore", lambda: make_cluster(cores=2, imem_depth=64),
+            ("retired_count",),
+            constraints=lambda device: {"core1": whole_slr(device, 1)}),
+    }
+
+
+def campaign_design(name: str) -> CampaignDesign:
+    registry = _registry()
+    try:
+        return registry[name]
+    except KeyError:
+        raise CampaignError(
+            f"unknown campaign design {name!r}; "
+            f"choose from {', '.join(DESIGN_NAMES)}") from None
+
+
+def golden_netlist(design: CampaignDesign):
+    """A fresh, uninstrumented elaboration of the design."""
+    from ..rtl import elaborate
+    return elaborate(design.build())
+
+
+def compile_mutant(design: CampaignDesign, netlist):
+    """Instrument and compile one mutant netlist for the fabric.
+
+    Returns ``(device, instrumented, compile_result)`` — the triple a
+    debugger session launches from. The netlist is modified in place
+    (it is already a mutant's private clone).
+    """
+    from ..debug import instrument_netlist
+    from ..fpga import make_test_device
+    from ..vendor import VivadoFlow
+
+    device = make_test_device()
+    instrumented = instrument_netlist(netlist, watch=list(design.watch))
+    flow = VivadoFlow(device)
+    clocks = {domain: 100.0 for domain in netlist.clock_domains()
+              if not domain.startswith("zoomie")}
+    constraints = design.constraints(device) if design.constraints else None
+    result = flow.compile_netlist(netlist, clocks,
+                                  gate_signals=instrumented.gate_signals,
+                                  constraints=constraints)
+    return device, instrumented, result
+
+
+def launch_session(compiled):
+    """Program a fresh fabric with a compiled mutant; returns
+    ``(fabric, debugger)``."""
+    from ..config import FabricDevice
+    from ..debug import ZoomieDebugger
+
+    device, instrumented, result = compiled
+    fabric = FabricDevice(device)
+    fabric.expect(result.database)
+    fabric.jtag.run(result.bitstream)
+    return fabric, ZoomieDebugger(fabric, instrumented)

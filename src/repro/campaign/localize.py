@@ -1,0 +1,278 @@
+"""Bug localization: snapshot bisection + readback diffing + SVA.
+
+Given a mutant session (the instrumented buggy design on the fabric)
+and the *golden* netlist simulated host-side, localization answers
+"which state element went wrong first, and when" using only the
+debugger's own verbs — the workflow a human would run by hand:
+
+1. **Sweep**: pause at cycle 0, snapshot, then step in ``chunk``-cycle
+   strides, diffing full readback against the golden simulator at every
+   boundary and snapshotting the last-known-good state.
+2. **Bisect**: binary-search the diverging chunk by restoring the
+   last-good snapshot and stepping partway — O(log chunk) probes pin
+   the exact first diverging cycle and the state elements involved.
+3. **SVA evidence**: re-arm from cycle 0 with assertion breakpoints
+   enabled and free-run; a monitor pause corroborates the bisection.
+
+Purely combinational bugs (a corrupted output expression) never touch
+architectural state; when the sweep sees no readback difference the
+result falls back to the batch-detection signal/cycle (``output-diff``).
+
+Every fabric operation is a journaled debugger verb, so a campaign can
+crash anywhere in here and :func:`repro.debug.recover_session` replays
+the session back; the attempt is deterministic, so a retried mutant
+reports bit-identically to an uninterrupted run. Modeled debug seconds
+are measured from after the cycle-0 restore, which makes the figure a
+property of the bug, not of how many times the host died.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from ..rtl.netlist import Netlist
+
+#: Reported signal lists are capped (a badly corrupted core can diverge
+#: in dozens of registers at once; the first few carry the signal).
+MAX_REPORT_SIGNALS = 8
+
+#: BFS radius for the localization-accuracy metric; anything further
+#: (or disconnected) reports this distance.
+MAX_SIGNAL_DISTANCE = 9
+
+
+# --------------------------------------------------------------------------
+# golden-side replay
+# --------------------------------------------------------------------------
+
+class GoldenReplay:
+    """Deterministic host-side golden states at arbitrary cycles.
+
+    Replays the golden netlist under the campaign's seeded stimulus;
+    rewinding rebuilds from cycle 0 (designs are small and bounds are a
+    few hundred cycles, so replay is cheaper than bookkeeping).
+    """
+
+    def __init__(self, netlist: Netlist, stimulus: Callable, chunk: int):
+        self._netlist = netlist
+        self._stimulus = stimulus  # (chunk_index) -> {input: value}
+        self._chunk = chunk
+        self._names = sorted(set(netlist.registers)
+                             | set(netlist.sync_read_outputs()))
+        self._sim = None
+        self._cycle = 0
+
+    def _reset(self) -> None:
+        from ..rtl import Simulator
+        self._sim = Simulator(self._netlist)
+        self._cycle = 0
+
+    def state_at(self, cycle: int):
+        """(register values, memory words) after ``cycle`` cycles."""
+        if self._sim is None or cycle < self._cycle:
+            self._reset()
+        while self._cycle < cycle:
+            if self._cycle % self._chunk == 0:
+                for name, value in self._stimulus(
+                        self._cycle // self._chunk).items():
+                    self._sim.poke(name, value)
+            span = min(self._chunk - self._cycle % self._chunk,
+                       cycle - self._cycle)
+            self._sim.step(span)
+            self._cycle += span
+        values = {name: self._sim.peek(name) for name in self._names}
+        memories = {name: list(self._sim.memories[name])
+                    for name in self._netlist.memories}
+        return values, memories
+
+
+def state_diff(golden_values: dict, golden_memories: dict,
+               snapshot) -> dict:
+    """Mismatches between golden state and a fabric readback snapshot.
+
+    Returns ``{name: (golden, fabric)}``; memory mismatches appear
+    under the memory's name with the first differing word. Zoomie's own
+    instrumentation registers are never part of the golden state dict,
+    so they cannot produce false diffs.
+    """
+    out: dict = {}
+    for name, golden in golden_values.items():
+        fabric = snapshot.values.get(name)
+        if fabric is not None and fabric != golden:
+            out[name] = (golden, fabric)
+    for name, golden_words in golden_memories.items():
+        fabric_words = snapshot.memories.get(name)
+        if fabric_words is None:
+            continue
+        for addr, (gw, fw) in enumerate(zip(golden_words, fabric_words)):
+            if gw != fw:
+                out[name] = (gw, fw)
+                break
+    return out
+
+
+# --------------------------------------------------------------------------
+# localization accuracy metric
+# --------------------------------------------------------------------------
+
+def signal_graph(netlist: Netlist) -> dict:
+    """Undirected signal adjacency: assign/register/port dataflow edges."""
+    adj: dict = {}
+
+    def link(a: str, b: str) -> None:
+        adj.setdefault(a, set()).add(b)
+        adj.setdefault(b, set()).add(a)
+
+    for target, expr in netlist.assigns.items():
+        for source in expr.signals():
+            link(target, source)
+    for name, reg in netlist.registers.items():
+        for expr in (reg.next, reg.enable, reg.reset):
+            if expr is not None:
+                for source in expr.signals():
+                    link(name, source)
+    for name, mem in netlist.memories.items():
+        for port in mem.write_ports:
+            for expr in (port.addr, port.data, port.enable):
+                for source in expr.signals():
+                    link(name, source)
+        for port in mem.read_ports:
+            link(port.name, name)
+            for expr in (port.addr, port.enable):
+                if expr is not None:
+                    for source in expr.signals():
+                        link(port.name, source)
+    return adj
+
+
+def signal_distance(adj: dict, start: str, goal: str,
+                    limit: int = MAX_SIGNAL_DISTANCE) -> int:
+    """BFS hop count between two signals, clamped to ``limit``."""
+    if start == goal:
+        return 0
+    seen = {start}
+    frontier = deque([(start, 0)])
+    while frontier:
+        node, dist = frontier.popleft()
+        if dist >= limit:
+            continue
+        for neighbour in adj.get(node, ()):
+            if neighbour in seen:
+                continue
+            if neighbour == goal:
+                return dist + 1
+            seen.add(neighbour)
+            frontier.append((neighbour, dist + 1))
+    return limit
+
+
+# --------------------------------------------------------------------------
+# the localization workflow itself
+# --------------------------------------------------------------------------
+
+def _event_ratio(debugger) -> int:
+    """Fabric events per MUT cycle (the free debug clock runs faster)."""
+    periods = {name: domain.period_ps
+               for name, domain in debugger.fabric.sim.domains.items()}
+    mut = periods.get(debugger.inst.mut_domains[0], 1)
+    return max(1, -(-mut // max(1, min(periods.values()))))
+
+
+def localize_attempt(debugger, golden: GoldenReplay, detect,
+                     chunk: int, sva_budget: int,
+                     poke: Callable, shared: dict) -> dict:
+    """One full localization pass over a mutant session.
+
+    ``poke(debugger, chunk_index)`` records the campaign stimulus for
+    one chunk; ``shared`` carries the cycle-0 snapshot across crash
+    retries so a recovered session restarts from the identical state.
+    Raises ``SessionCrashedError`` through to the caller — the caller
+    recovers and simply calls again.
+    """
+    if not debugger.is_paused():
+        debugger.pause()
+    if shared.get("c0") is None:
+        shared["c0"] = debugger.snapshot("campaign-c0")
+    cycle0 = shared["c0"]
+    debugger.restore(cycle0)
+    modeled_from = debugger.session_seconds
+    probes = 0
+
+    bound = (detect.cycle // chunk + 1) * chunk
+    elapsed, low, low_snapshot = 0, 0, cycle0
+    high: Optional[int] = None
+    diff: dict = {}
+    while elapsed < bound:
+        poke(debugger, elapsed // chunk)
+        debugger.step(chunk)
+        elapsed += chunk
+        golden_values, golden_memories = golden.state_at(elapsed)
+        readback = debugger.read_state()
+        probes += 1
+        found = state_diff(golden_values, golden_memories, readback)
+        if found:
+            high, diff = elapsed, found
+            break
+        low, low_snapshot = elapsed, debugger.snapshot("campaign-sweep")
+
+    if high is None:
+        # Combinational-only bug: state never left the golden trajectory,
+        # so the batched output diff is the localization.
+        result = {
+            "cycle": detect.cycle,
+            "signals": [detect.signal.partition("[")[0]],
+            "method": "output-diff",
+        }
+    else:
+        while high - low > 1:
+            mid = (low + high) // 2
+            debugger.restore(low_snapshot)
+            debugger.step(mid - low)
+            golden_values, golden_memories = golden.state_at(mid)
+            readback = debugger.read_state()
+            probes += 1
+            found = state_diff(golden_values, golden_memories, readback)
+            if found:
+                high, diff = mid, found
+            else:
+                low = mid
+                low_snapshot = debugger.snapshot("campaign-bisect")
+        result = {
+            "cycle": high,
+            "signals": sorted(diff)[:MAX_REPORT_SIGNALS],
+            "method": "bisect",
+        }
+
+    # -- SVA corroboration: free-run from cycle 0 with assertion breaks.
+    sva_break = None
+    if sva_budget > 0 and debugger.inst.monitors:
+        if not debugger.is_paused():
+            debugger.pause()
+        debugger.restore(cycle0)
+        debugger.break_on_assertions(True)
+        ratio = _event_ratio(debugger)
+        elapsed = 0
+        sva_bound = min(bound, (sva_budget // chunk + 1) * chunk)
+        debugger.resume(clear_triggers=False)
+        while elapsed < sva_bound:
+            poke(debugger, elapsed // chunk)
+            before = debugger.cycles()
+            debugger.run(max_cycles=chunk * ratio)
+            elapsed += debugger.cycles() - before
+            if debugger.is_paused():
+                sva_break = elapsed
+                break
+            if debugger.cycles() == before:
+                break  # nothing advances; don't spin
+        if not debugger.is_paused():
+            debugger.pause()
+        debugger.break_on_assertions(False)
+
+    result.update({
+        "probes": probes,
+        "sva_break_cycle": sva_break,
+        "modeled_seconds": round(
+            debugger.session_seconds - modeled_from, 6),
+    })
+    return result

@@ -67,6 +67,12 @@ Commands:
                                     invariant report
   chaos sites                       list fault-injection sites and kinds
   chaos fallbacks                   list documented degradation paths
+  campaign run [--design D[,E|all]] seeded mutation debug campaign: inject
+      [--mutants N] [--seed S]      bugs, detect via batched golden diff,
+      [--json] [--out FILE]         localize with breakpoints + snapshot
+                                    bisection; prints the accuracy report
+  campaign designs                  list campaign designs
+  campaign operators                list mutation operators
   trace-capture N SIG [SIG ...]     stream-capture signals while running N
       [stride=K] [depth=D]          cycles (in-kernel ring capture; prints
       [vcd=FILE]                    an ASCII timeline, optional VCD export)
@@ -130,6 +136,7 @@ class ZoomieCli:
             "stats": self._cmd_stats,
             "vti": self._cmd_vti,
             "chaos": self._cmd_chaos,
+            "campaign": self._cmd_campaign,
             "trace": self._cmd_trace,
             "trace-capture": self._cmd_trace_capture,
             "doctor": self._cmd_doctor,
@@ -437,6 +444,64 @@ class ZoomieCli:
                 report = run_campaign(config, tmp)
         else:
             report = run_campaign(config, workdir)
+        return report.describe()
+
+    def _cmd_campaign(self, args: list[str]) -> str:
+        usage = ("usage: campaign run [--design D[,E|all]] [--mutants N] "
+                 "[--seed S] [--json] [--out FILE] | campaign designs | "
+                 "campaign operators")
+        if not args:
+            raise ValueError(usage)
+        verb, rest = args[0], args[1:]
+        if verb == "designs" and not rest:
+            from ..campaign import DESIGN_NAMES
+            return "\n".join(DESIGN_NAMES)
+        if verb == "operators" and not rest:
+            from ..rtl.mutate import OPERATORS
+            return "\n".join(OPERATORS)
+        if verb != "run":
+            raise ValueError(usage)
+        from ..campaign import (
+            DESIGN_NAMES,
+            CampaignConfig,
+            run_debug_campaign,
+        )
+        designs, mutants, seed = ("cohort",), 25, 7
+        as_json, out_path = False, None
+        it = iter(rest)
+        for arg in it:
+            if arg == "--design":
+                value = next(it, None)
+                if value is None:
+                    raise ValueError(usage)
+                designs = (DESIGN_NAMES if value == "all"
+                           else tuple(value.split(",")))
+            elif arg == "--mutants":
+                value = next(it, None)
+                if value is None:
+                    raise ValueError(usage)
+                mutants = _parse_value(value)
+            elif arg == "--seed":
+                value = next(it, None)
+                if value is None:
+                    raise ValueError(usage)
+                seed = _parse_value(value)
+            elif arg == "--json":
+                as_json = True
+            elif arg == "--out":
+                out_path = next(it, None)
+                if out_path is None:
+                    raise ValueError(usage)
+            else:
+                raise ValueError(usage)
+        config = CampaignConfig(designs=designs, mutants=mutants,
+                                seed=seed)
+        report = run_debug_campaign(config)
+        if out_path is not None:
+            with open(out_path, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json())
+        if as_json:
+            return report.to_json().rstrip("\n")
         return report.describe()
 
     def _cmd_trace_capture(self, args: list[str]) -> str:

@@ -432,12 +432,22 @@ class ZoomieDebugger:
             self.inst.spec.host_pause_reg: 0,
         }
         updates.update(self._trigger_clear_updates())
+        # run()'s budget counts fabric events, and the free-running
+        # debug clock ticks several times per MUT cycle — budgeting
+        # ``cycles`` events would silently undershoot any step longer
+        # than RUN_SLACK/ratio cycles, returning with the step counter
+        # still armed and the design still running.
+        assert self.fabric.sim is not None
+        periods = {name: domain.period_ps
+                   for name, domain in self.fabric.sim.domains.items()}
+        mut_period = periods.get(self.inst.mut_domains[0], 1)
+        ratio = max(1, -(-mut_period // max(1, min(periods.values()))))
         with self._traced("step", cycles=cycles), \
                 self._journaled("step", cycles=cycles, force=force), \
                 self._op_guard("step"):
             self._clear_safe_pause()
             self._write_registers(updates)
-            self.run(max_cycles=cycles + RUN_SLACK)
+            self.run(max_cycles=cycles * ratio + RUN_SLACK)
         return self.cycles() - before
 
     # ------------------------------------------------------------------

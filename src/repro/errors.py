@@ -69,6 +69,21 @@ class SimulationError(ReproError):
     """The simulator was driven into an invalid state."""
 
 
+class MutationError(RtlError):
+    """The mutation engine could not produce a valid mutant.
+
+    Raised when an operator has no applicable sites in a design, when a
+    requested corpus size exceeds the valid (compiling, fingerprint-
+    distinct) mutants the site pool can yield, or when a site index no
+    longer resolves against the netlist it was enumerated from.
+    """
+
+
+class CampaignError(ReproError):
+    """A debug campaign could not complete (unknown design, a mutant
+    session that kept crashing past its recovery budget, ...)."""
+
+
 # --------------------------------------------------------------------------
 # SVA
 # --------------------------------------------------------------------------

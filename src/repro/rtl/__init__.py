@@ -30,6 +30,17 @@ from .builder import ModuleBuilder
 from .flatten import elaborate
 from .netlist import Netlist
 from ._codegen import clear_plan_cache, plan_cache_stats
+from .mutate import (
+    OPERATORS,
+    Divergence,
+    Mutant,
+    MutationSite,
+    apply_mutation,
+    default_stimulus,
+    differential_probe,
+    enumerate_sites,
+    generate_mutants,
+)
 from .plan_store import set_plan_cache_dir
 from .batch import BatchSimulator
 from .simulator import (
@@ -67,14 +78,18 @@ __all__ = [
     "Concat",
     "Const",
     "Detector",
+    "Divergence",
     "Expr",
     "Finding",
     "Instance",
     "Memory",
     "Module",
     "ModuleBuilder",
+    "Mutant",
+    "MutationSite",
     "Mux",
     "Netlist",
+    "OPERATORS",
     "PatternDetector",
     "Port",
     "Ref",
@@ -87,9 +102,14 @@ __all__ = [
     "Trace",
     "TraceView",
     "UnaryOp",
+    "apply_mutation",
     "cat",
     "clear_plan_cache",
+    "default_stimulus",
+    "differential_probe",
     "elaborate",
+    "enumerate_sites",
+    "generate_mutants",
     "mux",
     "plan_cache_stats",
     "reduce_and",

@@ -9,6 +9,7 @@ readback/state-extraction machinery matches against.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 from dataclasses import dataclass, field
 from graphlib import CycleError, TopologicalSorter
@@ -131,6 +132,37 @@ class Netlist:
             for port in memory.read_ports:
                 if port.sync:
                     out[port.name] = memory.width
+        return out
+
+    def clone(self) -> "Netlist":
+        """An independent deep copy sharing only immutable ``Expr`` trees.
+
+        Register/Memory dataclasses and every container are duplicated, so
+        editing the clone (a mutation-engine variant, an instrumentation
+        pass) can never alias back into the parent. That aliasing is a
+        plan-cache hazard: a shallow copy whose ``Register`` objects are
+        shared would let an in-place edit rewrite the parent too, leaving
+        parent and "mutant" with one fingerprint — and the cached golden
+        kernel would be served for the buggy variant.
+        """
+        out = Netlist(name=self.name)
+        out.signals = dict(self.signals)
+        out.inputs = set(self.inputs)
+        out.outputs = set(self.outputs)
+        out.assigns = dict(self.assigns)
+        out.registers = {
+            name: dataclasses.replace(reg)
+            for name, reg in self.registers.items()}
+        out.memories = {
+            name: Memory(
+                name=mem.name, width=mem.width, depth=mem.depth,
+                read_ports=[dataclasses.replace(p) for p in mem.read_ports],
+                write_ports=[dataclasses.replace(p) for p in mem.write_ports],
+                init=dict(mem.init))
+            for name, mem in self.memories.items()}
+        out.assertions = list(self.assertions)
+        out.owner = dict(self.owner)
+        out.interfaces = list(self.interfaces)
         return out
 
     def state_elements(self) -> list[tuple[str, int]]:

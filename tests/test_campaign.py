@@ -1,0 +1,201 @@
+"""Tests for the automated debug-campaign harness.
+
+The contract: a campaign over a seeded mutation corpus is byte-
+deterministic (same config, same JSON report); killing the host
+mid-mutant and recovering yields a report bit-identical to an
+uninterrupted run; the CLI verb and ``python -m repro.campaign`` both
+speak the same report; and ``campaign.*`` metrics record the work.
+"""
+
+import json
+
+import pytest
+
+from repro import Zoomie, ZoomieProject
+from repro.campaign import (
+    DESIGN_NAMES,
+    CampaignConfig,
+    run_debug_campaign,
+    verify_equivalents,
+)
+from repro.campaign.__main__ import main as campaign_main
+from repro.config import CrashPlan
+from repro.debug.cli import ZoomieCli
+from repro.designs import make_counter
+from repro.errors import CampaignError
+from repro.obs import get_registry
+
+
+SMALL = CampaignConfig(designs=("counters",), mutants=3, seed=7)
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    return run_debug_campaign(SMALL)
+
+
+class TestReportShape:
+    def test_every_mutant_reported(self, small_report):
+        assert len(small_report.outcomes) == 3
+        for outcome in small_report.outcomes:
+            assert outcome.status in ("detected", "equivalent",
+                                      "undetected")
+            assert outcome.mutant_id.startswith("counters:")
+
+    def test_summary_aggregates(self, small_report):
+        doc = small_report.as_dict()
+        summary = doc["summary"]
+        assert summary["total"] == 3
+        assert summary["detected"] + summary["equivalent"] + \
+            summary["undetected"] == 3
+        assert summary["tolerance"] == {"signals": 2, "cycles": 16}
+        assert 0.0 <= summary["detection_rate"] <= 1.0
+        assert 0.0 <= summary["localization_accuracy"] <= 1.0
+
+    def test_detected_mutants_carry_localization(self, small_report):
+        detected = [o for o in small_report.outcomes
+                    if o.status == "detected"]
+        assert detected, "seeded counters corpus must detect something"
+        for outcome in detected:
+            loc = outcome.localize
+            assert loc["method"] in ("bisect", "output-diff")
+            assert loc["signals"]
+            assert loc["modeled_seconds"] > 0
+            assert loc["cycle"] >= outcome.detect["cycle"] or \
+                loc["method"] == "output-diff"
+
+    def test_describe_is_human_readable(self, small_report):
+        text = small_report.describe()
+        assert "detection rate" in text
+        assert "localization accuracy" in text
+
+    def test_unknown_design_raises(self):
+        with pytest.raises(CampaignError):
+            run_debug_campaign(CampaignConfig(designs=("nope",),
+                                              mutants=1, seed=7))
+
+
+class TestDeterminism:
+    def test_reports_are_byte_identical(self, small_report):
+        again = run_debug_campaign(SMALL)
+        assert again.to_json() == small_report.to_json()
+
+    def test_json_has_no_wall_clock_fields(self, small_report):
+        doc = json.loads(small_report.to_json())
+        flat = json.dumps(doc)
+        for forbidden in ("timestamp", "wall", "recover"):
+            assert forbidden not in flat
+
+    def test_cohort_gates(self):
+        """The acceptance config in miniature: high detection, accurate
+        localization, no misclassified equivalents."""
+        config = CampaignConfig(designs=("cohort",), mutants=10, seed=7)
+        report = run_debug_campaign(config)
+        assert report.detection_rate >= 0.9
+        assert report.localization_accuracy >= 0.8
+        assert verify_equivalents(config, report) == []
+
+
+class TestCrashRecovery:
+    def test_crash_mid_mutant_resumes_bit_identical(self, tmp_path,
+                                                    small_report):
+        """Kill the host mid-localization on one mutant; the recovered
+        campaign must report exactly what the uninterrupted one did."""
+        fired = []
+
+        def crash_plan(design, mutant_id):
+            if not fired:
+                fired.append(mutant_id)
+                return CrashPlan(at_command=9)
+            return None
+
+        config = CampaignConfig(designs=("counters",), mutants=3,
+                                seed=7, crash_plan=crash_plan)
+        recoveries = get_registry().counter("campaign.recoveries")
+        before = recoveries.value
+        report = run_debug_campaign(config, tmp_path)
+        assert fired, "the crash plan never armed"
+        assert recoveries.value > before
+        assert report.to_json() == small_report.to_json()
+
+    def test_mid_command_crash_also_recovers(self, tmp_path,
+                                             small_report):
+        fired = []
+
+        def crash_plan(design, mutant_id):
+            if not fired:
+                fired.append(mutant_id)
+                return CrashPlan(at_batch=5)
+            return None
+
+        config = CampaignConfig(designs=("counters",), mutants=3,
+                                seed=7, crash_plan=crash_plan)
+        recoveries = get_registry().counter("campaign.recoveries")
+        before = recoveries.value
+        report = run_debug_campaign(config, tmp_path)
+        assert fired
+        assert recoveries.value > before
+        assert report.to_json() == small_report.to_json()
+
+    def test_unrecoverable_mutant_raises(self, tmp_path):
+        config = CampaignConfig(
+            designs=("counters",), mutants=1, seed=7,
+            max_recoveries=1,
+            # at_batch counts from installation, so re-arming on every
+            # relaunch models a host that dies on every attempt.
+            crash_plan=lambda design, mid: CrashPlan(at_batch=5))
+        with pytest.raises(CampaignError):
+            run_debug_campaign(config, tmp_path)
+
+
+class TestMetrics:
+    def test_campaign_counters_advance(self):
+        registry = get_registry()
+        mutants = registry.counter("campaign.mutants")
+        detected = registry.counter("campaign.detected")
+        before = (mutants.value, detected.value)
+        report = run_debug_campaign(SMALL)
+        assert mutants.value - before[0] == 3
+        n_detected = sum(1 for o in report.outcomes
+                         if o.status == "detected")
+        assert detected.value - before[1] == n_detected
+
+
+class TestFrontends:
+    @pytest.fixture()
+    def cli(self):
+        project = ZoomieProject(design=make_counter(width=4),
+                                device="TEST2", clocks={"clk": 100.0},
+                                watch=["out"])
+        return ZoomieCli(Zoomie(project).launch().debugger)
+
+    def test_cli_lists_designs_and_operators(self, cli):
+        assert cli.execute("campaign designs").splitlines() == \
+            list(DESIGN_NAMES)
+        assert "cond_invert" in cli.execute("campaign operators")
+
+    def test_cli_run_matches_harness(self, cli, small_report):
+        out = cli.execute(
+            "campaign run --design counters --mutants 3 --seed 7 --json")
+        assert json.loads(out) == small_report.as_dict()
+
+    def test_cli_run_summary_text(self, cli):
+        out = cli.execute(
+            "campaign run --design counters --mutants 2 --seed 3")
+        assert "detection rate" in out
+
+    def test_cli_usage_errors(self, cli):
+        assert "error" in cli.execute("campaign")
+        assert "error" in cli.execute("campaign run --mutants")
+        assert "error" in cli.execute("campaign run --bogus 3")
+
+    def test_main_module_writes_report(self, tmp_path, small_report,
+                                       capsys):
+        out_path = tmp_path / "report.json"
+        code = campaign_main(["run", "--design", "counters",
+                              "--mutants", "3", "--seed", "7",
+                              "--out", str(out_path), "--json"])
+        assert code == 0
+        assert out_path.read_text() == small_report.to_json()
+        printed = capsys.readouterr().out
+        assert json.loads(printed) == small_report.as_dict()
